@@ -1,0 +1,40 @@
+(* §8.1 noise configuration: reproduce the differential-privacy budgets the
+   paper states for its Laplace parameters. *)
+
+module Privacy = Alpenhorn_sim.Privacy
+open Bench_util
+
+let privacy () =
+  header "Section 8.1: differential-privacy budgets of the noise configuration";
+  row
+    [
+      pad 12 "protocol"; padl 8 "b"; padl 10 "actions"; padl 14 "eps (ours)"; padl 12 "paper";
+      padl 8 "holds";
+    ];
+  List.iter
+    (fun (name, (pb : Privacy.protocol_budget)) ->
+      let epsilon0 = Privacy.epsilon_single ~sensitivity:pb.Privacy.sensitivity ~b:pb.Privacy.b in
+      let eps = Privacy.compose_advanced ~epsilon0 ~k:pb.Privacy.actions ~delta:pb.Privacy.delta in
+      row
+        [
+          pad 12 name;
+          padl 8 (Printf.sprintf "%.0f" pb.Privacy.b);
+          padl 10 (string_of_int pb.Privacy.actions);
+          padl 14 (Printf.sprintf "%.3f" eps);
+          padl 12 "ln 2=0.693";
+          padl 8 (if Privacy.verify pb then "yes" else "NO");
+        ])
+    [ ("add-friend", Privacy.paper_addfriend); ("dialing", Privacy.paper_dialing) ];
+  print_endline "(strong composition at delta = 1e-4; the paper claims (ln 2, 1e-4)-DP for";
+  print_endline " 900 add-friend requests and 26,000 calls — e.g. 7 calls/day for 10 years.)";
+  let cap_af =
+    Privacy.max_actions
+      ~epsilon0:(Privacy.epsilon_single ~sensitivity:1.0 ~b:406.0)
+      ~delta:1e-4 ~budget:(log 2.0)
+  in
+  let cap_dial =
+    Privacy.max_actions
+      ~epsilon0:(Privacy.epsilon_single ~sensitivity:1.0 ~b:2183.0)
+      ~delta:1e-4 ~budget:(log 2.0)
+  in
+  Printf.printf "max actions within (ln 2, 1e-4): add-friend %d, dialing %d\n" cap_af cap_dial

@@ -1,0 +1,48 @@
+(* Shared helpers for the benchmark harness: a thin Bechamel wrapper that
+   returns ns/op estimates, and aligned-table printing. *)
+
+open Bechamel
+open Bechamel.Toolkit
+
+let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+
+(* Estimated nanoseconds per run of [fn], via Bechamel OLS. *)
+let time_ns ?(quota = 1.0) name fn =
+  let test = Test.make ~name (Staged.stage fn) in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second quota) ~stabilize:false () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] test in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  match Hashtbl.fold (fun _ v acc -> v :: acc) results [] with
+  | [ est ] -> (match Analyze.OLS.estimates est with Some (t :: _) -> t | _ -> nan)
+  | _ -> nan
+
+let human_time ns =
+  if ns < 1e3 then Printf.sprintf "%.0f ns" ns
+  else if ns < 1e6 then Printf.sprintf "%.2f us" (ns /. 1e3)
+  else if ns < 1e9 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else Printf.sprintf "%.2f s" (ns /. 1e9)
+
+let human_bytes b =
+  let f = float_of_int b in
+  if b < 1024 then Printf.sprintf "%d B" b
+  else if f < 1048576.0 then Printf.sprintf "%.1f KB" (f /. 1024.0)
+  else Printf.sprintf "%.2f MB" (f /. 1048576.0)
+
+let header title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '-')
+
+let row cols = print_endline (String.concat "  " cols)
+
+let pad width s =
+  if String.length s >= width then s else s ^ String.make (width - String.length s) ' '
+
+let padl width s =
+  if String.length s >= width then s else String.make (width - String.length s) ' ' ^ s
+
+(* users axis used throughout §8.3 *)
+let user_points = [ 10_000; 100_000; 1_000_000; 10_000_000 ]
+
+let si n =
+  if n >= 1_000_000 then Printf.sprintf "%dM" (n / 1_000_000)
+  else if n >= 1_000 then Printf.sprintf "%dK" (n / 1_000)
+  else string_of_int n

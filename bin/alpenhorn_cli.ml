@@ -1,0 +1,162 @@
+(* Standalone Alpenhorn client CLI (paper §8.5).
+
+   The paper's Pond integration is a command-line client that lets users
+   friend and call each other and prints the resulting shared secret,
+   ready to paste into PANDA. This binary provides that flow against an
+   in-process deployment, plus a parameter inspector and a what-if
+   simulator over the evaluation cost model.
+
+   Subcommands:
+     session   interactive-style scripted session (friend + call + secret)
+     params    show the pairing parameter sets
+     simulate  price a deployment with the §8 cost model *)
+
+module B = Alpenhorn_bigint.Bigint
+module Params = Alpenhorn_pairing.Params
+module Field = Alpenhorn_pairing.Field
+module Config = Alpenhorn_core.Config
+module Client = Alpenhorn_core.Client
+module Deployment = Alpenhorn_core.Deployment
+module Costmodel = Alpenhorn_sim.Costmodel
+module Util = Alpenhorn_crypto.Util
+
+open Cmdliner
+
+(* ---- session ---- *)
+
+let run_session caller callee intent seed =
+  let d = Deployment.create ~config:Config.test ~seed in
+  let secret_caller = ref None and secret_callee = ref None in
+  let mk email on_place on_ring =
+    Deployment.new_client d ~email
+      ~callbacks:
+        {
+          Client.null_callbacks with
+          Client.new_friend =
+            (fun ~email ~key:_ ->
+              Printf.printf "[%s] friend request from %s -> accepted\n" callee email;
+              true);
+          Client.call_placed =
+            (fun ~email:_ ~intent:_ ~session_key -> if on_place then secret_caller := Some session_key);
+          Client.incoming_call =
+            (fun ~email ~intent ~session_key ->
+              if on_ring then begin
+                Printf.printf "[%s] incoming call from %s (intent %d)\n" callee email intent;
+                secret_callee := Some session_key
+              end);
+        }
+  in
+  let a = mk caller true false and b = mk callee false true in
+  List.iter
+    (fun c ->
+      match Deployment.register d c with
+      | Ok () -> Printf.printf "registered %s\n" (Client.email c)
+      | Error e -> failwith (Alpenhorn_pkg.Pkg.error_to_string e))
+    [ a; b ];
+  Printf.printf "\n> /addfriend %s\n" callee;
+  Client.add_friend a ~email:callee ();
+  ignore (Deployment.run_addfriend_round d ());
+  ignore (Deployment.run_addfriend_round d ());
+  Printf.printf "friendship established (keywheels synchronized)\n";
+  Printf.printf "\n> /call %s %d\n" callee intent;
+  Client.call a ~email:callee ~intent;
+  let guard = ref 0 in
+  while !secret_callee = None && !guard < 6 do
+    incr guard;
+    ignore (Deployment.run_dialing_round d ())
+  done;
+  match (!secret_caller, !secret_callee) with
+  | Some ka, Some kb when ka = kb ->
+    Printf.printf "\nshared secret (paste into PANDA or your messenger):\n  %s\n" (Util.to_hex ka);
+    0
+  | _ ->
+    prerr_endline "call failed";
+    1
+
+let session_cmd =
+  let caller =
+    Arg.(value & opt string "alice@example.org" & info [ "caller" ] ~doc:"Caller email address.")
+  in
+  let callee =
+    Arg.(value & opt string "bob@example.org" & info [ "callee" ] ~doc:"Callee email address.")
+  in
+  let intent = Arg.(value & opt int 0 & info [ "intent" ] ~doc:"Application intent (0-3).") in
+  let seed = Arg.(value & opt string "cli" & info [ "seed" ] ~doc:"Deterministic seed.") in
+  Cmd.v
+    (Cmd.info "session" ~doc:"Friend two users and place a call; print the shared secret.")
+    Term.(const run_session $ caller $ callee $ intent $ seed)
+
+(* ---- params ---- *)
+
+let run_params name =
+  let pr = Params.of_named name in
+  let p = Field.modulus pr.Params.fp in
+  Printf.printf "parameter set: %s\n" name;
+  Printf.printf "field prime p: %d bits (%s...)\n" (B.numbits p)
+    (String.sub (B.to_hex p) 0 16);
+  Printf.printf "group order q: %d bits\n" (B.numbits pr.Params.q);
+  Printf.printf "cofactor 12l:  %s\n" (B.to_string pr.Params.cofactor);
+  Printf.printf "G1 point size: %d bytes compressed\n"
+    (Alpenhorn_pairing.Curve.point_bytes pr.Params.fp);
+  Printf.printf "curve: y^2 = x^3 + 1 over F_p (supersingular, Boneh-Franklin setting)\n";
+  Params.validate pr;
+  Printf.printf "validation: OK\n";
+  0
+
+let params_cmd =
+  let set_arg =
+    Arg.(value & pos 0 string "production" & info [] ~docv:"SET" ~doc:"\"test\" or \"production\".")
+  in
+  Cmd.v (Cmd.info "params" ~doc:"Inspect and validate a pairing parameter set.")
+    Term.(const run_params $ set_arg)
+
+(* ---- simulate ---- *)
+
+let run_simulate users servers dial_minutes af_hours =
+  let pr = Params.production () in
+  let pc = Costmodel.protocol_costs pr in
+  let m = Costmodel.paper_machine in
+  let af =
+    Costmodel.addfriend_round m pc ~n_users:users ~n_servers:servers ~noise_mu:4000.0
+      ~active_fraction:0.05 ()
+  in
+  let dial =
+    Costmodel.dialing_round m pc ~n_users:users ~n_servers:servers ~noise_mu:25000.0
+      ~active_fraction:0.05 ~friends:1000 ~intents:10 ()
+  in
+  let af_bw =
+    Costmodel.addfriend_bandwidth pc ~n_users:users ~n_servers:servers ~noise_mu:4000.0
+      ~active_fraction:0.05 ~round_seconds:(af_hours *. 3600.0)
+  in
+  let dial_bw =
+    Costmodel.dialing_bandwidth pc ~n_users:users ~n_servers:servers ~noise_mu:25000.0
+      ~active_fraction:0.05 ~round_seconds:(dial_minutes *. 60.0)
+  in
+  Printf.printf "deployment: %d users, %d mixnet servers (paper-calibrated hardware)\n" users servers;
+  Printf.printf "add-friend round latency: %.1f s (mailbox %.2f MB)\n" af.Costmodel.total_seconds
+    (float_of_int af.Costmodel.mailbox_bytes /. 1e6);
+  Printf.printf "dialing round latency:    %.1f s (filter %.2f MB)\n" dial.Costmodel.total_seconds
+    (float_of_int dial.Costmodel.mailbox_bytes /. 1e6);
+  Printf.printf "client bandwidth: %.2f KB/s add-friend @%.1fh + %.2f KB/s dialing @%.0fmin\n"
+    (af_bw /. 1000.0) af_hours (dial_bw /. 1000.0) dial_minutes;
+  Printf.printf "total: %.2f KB/s (%.1f GB/month)\n"
+    ((af_bw +. dial_bw) /. 1000.0)
+    ((af_bw +. dial_bw) *. 86400.0 *. 30.0 /. 1e9);
+  0
+
+let simulate_cmd =
+  let users = Arg.(value & opt int 1_000_000 & info [ "users" ] ~doc:"Online users.") in
+  let servers = Arg.(value & opt int 3 & info [ "servers" ] ~doc:"Mixnet chain length.") in
+  let dial_minutes =
+    Arg.(value & opt float 5.0 & info [ "dial-minutes" ] ~doc:"Dialing round duration (minutes).")
+  in
+  let af_hours =
+    Arg.(value & opt float 4.0 & info [ "addfriend-hours" ] ~doc:"Add-friend round duration (hours).")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Price a deployment with the paper-calibrated cost model.")
+    Term.(const run_simulate $ users $ servers $ dial_minutes $ af_hours)
+
+let () =
+  let doc = "Alpenhorn: metadata-private bootstrapping (OCaml reproduction)" in
+  exit (Cmd.eval' (Cmd.group (Cmd.info "alpenhorn" ~doc) [ session_cmd; params_cmd; simulate_cmd ]))

@@ -1,0 +1,88 @@
+(* Vuvuzela integration (§8.5): Alpenhorn bootstraps a metadata-private
+   conversation.
+
+   The paper replaced Vuvuzela's dialing protocol with Alpenhorn in ~200
+   lines; this example is that integration in miniature. Alpenhorn's Call
+   hands both sides a session key, which keys the Vuvuzela-style dead-drop
+   conversation — no public keys were ever exchanged out of band.
+
+   Run with: dune exec examples/vuvuzela_chat.exe *)
+
+module Config = Alpenhorn_core.Config
+module Client = Alpenhorn_core.Client
+module Deployment = Alpenhorn_core.Deployment
+module V = Alpenhorn_vuvuzela.Vuvuzela
+
+(* The glue an application writes: when a call connects, open a
+   conversation keyed by the session key. *)
+type endpoint = { mutable convo : V.conversation option }
+
+let () =
+  let d = Deployment.create ~config:Config.test ~seed:"vuvuzela-chat" in
+  let alice_ep = { convo = None } and bob_ep = { convo = None } in
+  let alice_callbacks =
+    {
+      Client.null_callbacks with
+      Client.call_placed =
+        (fun ~email ~intent:_ ~session_key ->
+          Printf.printf "[alice] call to %s connected; opening conversation\n" email;
+          alice_ep.convo <- Some (V.start ~session_key ~role:`Caller));
+    }
+  in
+  let bob_callbacks =
+    {
+      Client.null_callbacks with
+      Client.incoming_call =
+        (fun ~email ~intent ~session_key ->
+          Printf.printf "[bob] incoming call from %s (intent %d: \"let's chat right now\")\n"
+            email intent;
+          bob_ep.convo <- Some (V.start ~session_key ~role:`Callee));
+    }
+  in
+  let alice = Deployment.new_client d ~email:"alice@example.org" ~callbacks:alice_callbacks in
+  let bob = Deployment.new_client d ~email:"bob@example.org" ~callbacks:bob_callbacks in
+  List.iter
+    (fun c ->
+      match Deployment.register d c with
+      | Ok () -> ()
+      | Error e -> failwith (Alpenhorn_pkg.Pkg.error_to_string e))
+    [ alice; bob ];
+
+  (* bootstrap: add-friend handshake, then dial with intent 1 *)
+  Client.add_friend alice ~email:"bob@example.org" ();
+  ignore (Deployment.run_addfriend_round d ());
+  ignore (Deployment.run_addfriend_round d ());
+  Client.call alice ~email:"bob@example.org" ~intent:1;
+  let guard = ref 0 in
+  while (alice_ep.convo = None || bob_ep.convo = None) && !guard < 6 do
+    incr guard;
+    ignore (Deployment.run_dialing_round d ())
+  done;
+
+  let ca = Option.get alice_ep.convo and cb = Option.get bob_ep.convo in
+  let server = V.create_server () in
+
+  (* a short conversation; constant-rate — a side with nothing to say
+     deposits padding *)
+  let script =
+    [
+      (Some "hey bob! this channel leaked zero metadata", Some "alice! even the dialing?");
+      (Some "yep - dial tokens in a Bloom filter", None);
+      (None, Some "and the friend request?");
+      (Some "IBE to your email address, anytrust PKGs", Some "neat. talk tomorrow");
+    ]
+  in
+  List.iteri
+    (fun i (from_alice, from_bob) ->
+      V.deposit ca server from_alice;
+      V.deposit cb server from_bob;
+      V.exchange server;
+      let show who = function
+        | None -> Printf.printf "  round %d: [%s] (no message this round)\n" i who
+        | Some (Some m) -> Printf.printf "  round %d: [%s] received: %s\n" i who m
+        | Some None -> Printf.printf "  round %d: [%s] received padding\n" i who
+      in
+      show "bob" (V.retrieve cb server);
+      show "alice" (V.retrieve ca server))
+    script;
+  Printf.printf "\nConversation complete over %d constant-rate rounds.\n" (List.length script)

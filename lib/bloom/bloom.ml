@@ -1,0 +1,56 @@
+module Sha256 = Alpenhorn_crypto.Sha256
+module Util = Alpenhorn_crypto.Util
+
+type t = { bits : Bytes.t; nbits : int; k : int; mutable n : int }
+
+let target_fp_rate = 1e-10
+
+(* At the optimal point, bits/element = -log2(fp)/ln 2 ≈ 47.9 -> 48, and
+   k = bits/element * ln 2 ≈ 33. *)
+let bits_per_element = 48
+let optimal_hashes = 33
+
+let create ~expected_elements =
+  let n = Stdlib.max 1 expected_elements in
+  let nbits = n * bits_per_element in
+  { bits = Bytes.make ((nbits + 7) / 8) '\000'; nbits; k = optimal_hashes; n = 0 }
+
+let create_custom ~bits ~hashes =
+  if bits <= 0 || hashes <= 0 then invalid_arg "Bloom.create_custom";
+  { bits = Bytes.make ((bits + 7) / 8) '\000'; nbits = bits; k = hashes; n = 0 }
+
+(* Derive k indices via double hashing over two independent 64-bit values
+   (Kirsch-Mitzenmacher), which preserves the asymptotic FP rate. *)
+let indices t elem =
+  let d = Sha256.digest ("bloom" ^ elem) in
+  let h1 = Util.read_be64 d 0 land max_int and h2 = Util.read_be64 d 8 land max_int in
+  let h2 = if h2 mod t.nbits = 0 then h2 + 1 else h2 in
+  Array.init t.k (fun i -> abs (h1 + (i * h2)) mod t.nbits)
+
+let set_bit b i = Bytes.set b (i / 8) (Char.chr (Char.code (Bytes.get b (i / 8)) lor (1 lsl (i mod 8))))
+let get_bit b i = (Char.code (Bytes.get b (i / 8)) lsr (i mod 8)) land 1 = 1
+
+let add t elem =
+  Array.iter (set_bit t.bits) (indices t elem);
+  t.n <- t.n + 1
+
+let mem t elem = Array.for_all (get_bit t.bits) (indices t elem)
+
+let size_bits t = t.nbits
+let size_bytes t = Bytes.length t.bits + 12 (* header included, matching to_bytes *)
+let num_hashes t = t.k
+let count t = t.n
+
+let to_bytes t = Util.be32 t.nbits ^ Util.be32 t.k ^ Util.be32 t.n ^ Bytes.to_string t.bits
+
+let of_bytes s =
+  if String.length s < 12 then None
+  else begin
+    let nbits = Util.read_be32 s 0 and k = Util.read_be32 s 4 and n = Util.read_be32 s 8 in
+    if nbits <= 0 || k <= 0 || String.length s <> 12 + ((nbits + 7) / 8) then None
+    else Some { bits = Bytes.of_string (String.sub s 12 (String.length s - 12)); nbits; k; n }
+  end
+
+let false_positive_estimate t =
+  let frac = 1.0 -. exp (-.float_of_int (t.k * t.n) /. float_of_int t.nbits) in
+  frac ** float_of_int t.k

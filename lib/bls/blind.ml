@@ -1,0 +1,32 @@
+module Bigint = Alpenhorn_bigint.Bigint
+module Drbg = Alpenhorn_crypto.Drbg
+module Params = Alpenhorn_pairing.Params
+module Curve = Alpenhorn_pairing.Curve
+module Pairing = Alpenhorn_pairing.Pairing
+module Fp2 = Alpenhorn_pairing.Fp2
+
+type blinded = Curve.point
+type unblinder = Bigint.t
+
+let message_hash_prefix = "bls-blind"
+
+let hash_msg (params : Params.t) msg = Pairing.hash_to_group params (message_hash_prefix ^ msg)
+
+let blind (params : Params.t) rng ~msg =
+  let r = Bigint.add Bigint.one (Drbg.bigint_below rng (Bigint.sub params.q Bigint.one)) in
+  let blinded = Curve.add params.fp (hash_msg params msg) (Curve.mul params.fp r params.g) in
+  (blinded, r)
+
+let sign_blinded (params : Params.t) sk blinded = Curve.mul params.fp sk blinded
+
+let unblind (params : Params.t) pk ~signed r =
+  Curve.add params.fp signed (Curve.neg params.fp (Curve.mul params.fp r pk))
+
+let verify (params : Params.t) pk ~msg signature =
+  match (pk, signature) with
+  | Curve.Inf, _ | _, Curve.Inf -> false
+  | _ ->
+    Curve.is_on_curve params.fp signature
+    && Fp2.equal
+         (Pairing.pair params signature params.g)
+         (Pairing.pair params (hash_msg params msg) pk)

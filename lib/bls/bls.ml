@@ -1,0 +1,37 @@
+module Bigint = Alpenhorn_bigint.Bigint
+module Drbg = Alpenhorn_crypto.Drbg
+module Params = Alpenhorn_pairing.Params
+module Curve = Alpenhorn_pairing.Curve
+module Pairing = Alpenhorn_pairing.Pairing
+module Fp2 = Alpenhorn_pairing.Fp2
+
+type secret = Bigint.t
+type public = Curve.point
+type signature = Curve.point
+
+let keygen (params : Params.t) rng =
+  let s = Bigint.add Bigint.one (Drbg.bigint_below rng (Bigint.sub params.q Bigint.one)) in
+  (s, Curve.mul params.fp s params.g)
+
+let public_of_secret (params : Params.t) s = Curve.mul params.fp s params.g
+
+let hash_msg (params : Params.t) msg = Pairing.hash_to_group params ("bls-msg" ^ msg)
+
+let sign (params : Params.t) sk msg = Curve.mul params.fp sk (hash_msg params msg)
+
+let verify (params : Params.t) pk msg sg =
+  match (pk, sg) with
+  | Curve.Inf, _ | _, Curve.Inf -> false
+  | _ ->
+    Curve.is_on_curve params.fp sg
+    && Fp2.equal (Pairing.pair params sg params.g) (Pairing.pair params (hash_msg params msg) pk)
+
+let aggregate (params : Params.t) sigs = List.fold_left (Curve.add params.fp) Curve.infinity sigs
+let aggregate_public = aggregate
+
+let verify_multi (params : Params.t) pks msg sg = verify params (aggregate_public params pks) msg sg
+
+let public_bytes (params : Params.t) pk = Curve.to_bytes params.fp pk
+let public_of_bytes (params : Params.t) s = Curve.of_bytes params.fp s
+let signature_bytes = public_bytes
+let signature_of_bytes = public_of_bytes

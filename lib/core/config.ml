@@ -1,0 +1,65 @@
+type t = {
+  param_name : string;
+  n_pkgs : int;
+  chain_length : int;
+  addfriend_noise_mu : float;
+  dialing_noise_mu : float;
+  laplace_b : float;
+  max_intents : int;
+  active_fraction : float;
+  addfriend_round_seconds : int;
+  dialing_round_seconds : int;
+  faithful_noise : bool;
+  dial_archive_rounds : int;
+}
+
+let paper =
+  {
+    param_name = "production";
+    n_pkgs = 3;
+    chain_length = 3;
+    addfriend_noise_mu = 4000.0;
+    dialing_noise_mu = 25000.0;
+    laplace_b = 0.0;
+    max_intents = 10;
+    active_fraction = 0.05;
+    addfriend_round_seconds = 3600;
+    dialing_round_seconds = 300;
+    faithful_noise = true;
+    dial_archive_rounds = 288 (* one day of 5-minute rounds, §5.1 *);
+  }
+
+let test =
+  {
+    param_name = "test";
+    n_pkgs = 3;
+    chain_length = 3;
+    addfriend_noise_mu = 2.0;
+    dialing_noise_mu = 3.0;
+    laplace_b = 0.0;
+    max_intents = 4;
+    active_fraction = 0.5;
+    addfriend_round_seconds = 60;
+    dialing_round_seconds = 10;
+    faithful_noise = true;
+    dial_archive_rounds = 4;
+  }
+
+let params t = Alpenhorn_pairing.Params.of_named t.param_name
+
+let validate t =
+  if t.n_pkgs < 1 then Error "n_pkgs must be >= 1"
+  else if t.chain_length < 1 then Error "chain_length must be >= 1"
+  else if t.addfriend_noise_mu < 0.0 || t.dialing_noise_mu < 0.0 then Error "noise_mu must be >= 0"
+  else if t.laplace_b < 0.0 then Error "laplace_b must be >= 0"
+  else if t.max_intents < 1 then Error "max_intents must be >= 1"
+  else if t.active_fraction <= 0.0 || t.active_fraction > 1.0 then
+    Error "active_fraction must be in (0, 1]"
+  else if t.addfriend_round_seconds < 1 || t.dialing_round_seconds < 1 then
+    Error "round durations must be >= 1s"
+  else if t.dial_archive_rounds < 0 then Error "dial_archive_rounds must be >= 0"
+  else begin
+    match Alpenhorn_pairing.Params.of_named t.param_name with
+    | exception Invalid_argument m -> Error m
+    | _ -> Ok ()
+  end

@@ -1,0 +1,279 @@
+module Drbg = Alpenhorn_crypto.Drbg
+module Params = Alpenhorn_pairing.Params
+module Ibe = Alpenhorn_ibe.Ibe
+module Bls = Alpenhorn_bls.Bls
+module Pkg = Alpenhorn_pkg.Pkg
+module Chain = Alpenhorn_mixnet.Chain
+module Mailbox = Alpenhorn_mixnet.Mailbox
+module Bloom = Alpenhorn_bloom.Bloom
+
+type t = {
+  config : Config.t;
+  params : Params.t;
+  rng : Drbg.t;
+  pkgs : Pkg.t array;
+  af_chain : Chain.t;
+  dial_chain : Chain.t;
+  inboxes : (string, (int * string) list ref) Hashtbl.t; (* simulated email provider *)
+  dial_archive : (int, Bloom.t array * int) Hashtbl.t; (* round -> filters, K (§5.1) *)
+  mutable clients : Client.t list; (* registered clients *)
+  mutable af_round : int;
+  mutable dial_round : int;
+  mutable clock : int;
+}
+
+let create ~config ~seed =
+  (match Config.validate config with Ok () -> () | Error m -> invalid_arg ("Deployment.create: " ^ m));
+  let params = Config.params config in
+  let rng = Drbg.create ~seed:("deployment" ^ seed) in
+  let inboxes = Hashtbl.create 256 in
+  let deliver pkg_index ~to_ ~token =
+    let box =
+      match Hashtbl.find_opt inboxes to_ with
+      | Some b -> b
+      | None ->
+        let b = ref [] in
+        Hashtbl.replace inboxes to_ b;
+        b
+    in
+    box := (pkg_index, token) :: !box
+  in
+  let pkgs =
+    Array.init config.Config.n_pkgs (fun i ->
+        Pkg.create params
+          ~rng:(Drbg.derive rng (Printf.sprintf "pkg-%d" i))
+          ~send_email:(deliver i) ())
+  in
+  {
+    config;
+    params;
+    rng;
+    pkgs;
+    af_chain = Chain.create params ~rng:(Drbg.derive rng "af-chain") ~chain_length:config.Config.chain_length;
+    dial_chain =
+      Chain.create params ~rng:(Drbg.derive rng "dial-chain") ~chain_length:config.Config.chain_length;
+    inboxes;
+    dial_archive = Hashtbl.create 64;
+    clients = [];
+    af_round = 0;
+    dial_round = 0;
+    clock = 0;
+  }
+
+let config t = t.config
+let params t = t.params
+let pkgs t = t.pkgs
+let pkg_public_keys t = Array.to_list (Array.map Pkg.long_term_public t.pkgs)
+let now t = t.clock
+let advance_clock t ~seconds = t.clock <- t.clock + seconds
+let addfriend_round_number t = t.af_round
+let dialing_round_number t = t.dial_round
+
+let new_client t ~email ~callbacks =
+  Client.create ~config:t.config
+    ~rng:(Drbg.derive t.rng ("client-" ^ email))
+    ~email ~pkg_public_keys:(pkg_public_keys t) ~callbacks
+
+let inbox t ~email = match Hashtbl.find_opt t.inboxes email with Some b -> !b | None -> []
+
+let register t client =
+  let email = Client.email client in
+  let pk = Client.signing_public client in
+  let rec per_pkg i =
+    if i = Array.length t.pkgs then Ok ()
+    else begin
+      match Pkg.register t.pkgs.(i) ~now:t.clock ~email ~pk with
+      | Error e -> Error e
+      | Ok () ->
+        (* the user reads the confirmation email and echoes the token *)
+        let token =
+          match List.assoc_opt i (inbox t ~email) with
+          | Some tok -> tok
+          | None -> "" (* no email delivered: confirmation will fail below *)
+        in
+        (match Pkg.confirm t.pkgs.(i) ~now:t.clock ~email ~token with
+         | Error e -> Error e
+         | Ok () -> per_pkg (i + 1))
+    end
+  in
+  match per_pkg 0 with
+  | Error e -> Error e
+  | Ok () ->
+    if not (List.memq client t.clients) then t.clients <- t.clients @ [ client ];
+    Ok ()
+
+(* ---- add-friend round (Algorithm 1, orchestrated) ---- *)
+
+type af_stats = {
+  af_round : int;
+  requests_in : int;
+  noise_added : int;
+  dropped : int;
+  num_mailboxes : int;
+  mailbox_bytes : int array;
+  events : (string * Client.af_event) list;
+}
+
+let aggregate_mpk t ~round =
+  let mpks =
+    Array.to_list t.pkgs
+    |> List.map (fun pkg ->
+           match Pkg.master_public pkg ~round with
+           | Some mpk -> mpk
+           | None -> failwith "Deployment: PKG did not reveal round key")
+  in
+  Ibe.aggregate_public t.params mpks
+
+let num_af_mailboxes t ~participants =
+  let expected_real =
+    int_of_float (Float.round (float_of_int participants *. t.config.Config.active_fraction))
+  in
+  Mailbox.num_mailboxes_for ~expected_real ~noise_mu:t.config.Config.addfriend_noise_mu
+    ~chain_length:t.config.Config.chain_length
+
+let af_noise_body t ~mpk_agg ~mailbox:_ =
+  if t.config.Config.faithful_noise then begin
+    (* genuine IBE encryption of random bytes to a random identity: relies
+       on ciphertext anonymity (§4.3) *)
+    let id = "noise-" ^ Alpenhorn_crypto.Util.to_hex (Drbg.bytes t.rng 8) in
+    let body = Drbg.bytes t.rng (Wire.request_plaintext_size t.params) in
+    Ibe.encrypt t.params t.rng mpk_agg ~id body
+  end
+  else Drbg.bytes t.rng (Wire.request_ciphertext_size t.params)
+
+let run_addfriend_round t ?participants () =
+  let clients = match participants with Some l -> l | None -> t.clients in
+  t.af_round <- t.af_round + 1;
+  let round = t.af_round in
+  (* 1. PKGs rotate master keys: commit, then reveal; verify the openings *)
+  let commitments = Array.map (fun pkg -> Pkg.begin_round pkg ~round) t.pkgs in
+  Array.iteri
+    (fun i pkg ->
+      match Pkg.reveal_round pkg ~round with
+      | Error e -> failwith ("Deployment: reveal failed: " ^ Pkg.error_to_string e)
+      | Ok (mpk, opening) ->
+        if not (Pkg.verify_commitment t.params ~commitment:commitments.(i) ~mpk ~opening) then
+          failwith "Deployment: PKG commitment mismatch")
+    t.pkgs;
+  let mpk_agg = aggregate_mpk t ~round in
+  let num_mailboxes = num_af_mailboxes t ~participants:(List.length clients) in
+  (* 2. every client extracts identity keys and submits one onion *)
+  let server_pks = Chain.begin_round t.af_chain in
+  let contexts =
+    List.map
+      (fun c ->
+        match Client.begin_addfriend_round c ~round ~now:t.clock ~pkgs:t.pkgs with
+        | Error e -> failwith ("Deployment: extraction failed: " ^ Pkg.error_to_string e)
+        | Ok ctx -> (c, ctx))
+      clients
+  in
+  let batch =
+    List.map
+      (fun (c, ctx) -> Client.addfriend_submission c ctx ~mpk_agg ~num_mailboxes ~server_pks)
+      contexts
+    |> Array.of_list
+  in
+  (* 3. the mixnet chain runs the round *)
+  let mailboxes, stats =
+    Chain.run_round t.af_chain ~mode:`AddFriend ~noise_mu:t.config.Config.addfriend_noise_mu
+      ~laplace_b:t.config.Config.laplace_b ~num_mailboxes
+      ~noise_body:(fun ~mailbox -> af_noise_body t ~mpk_agg ~mailbox)
+      batch
+  in
+  let buckets = Mailbox.plain_exn mailboxes in
+  (* 4-6. every client downloads its mailbox and scans *)
+  let events =
+    List.concat_map
+      (fun (c, ctx) ->
+        let mb = Mailbox.mailbox_of_identity (Client.email c) ~num_mailboxes in
+        Client.scan_addfriend_mailbox c ctx buckets.(mb)
+        |> List.map (fun ev -> (Client.email c, ev)))
+      contexts
+  in
+  (* PKGs erase master secrets *)
+  Array.iter (fun pkg -> Pkg.end_round pkg ~round) t.pkgs;
+  advance_clock t ~seconds:t.config.Config.addfriend_round_seconds;
+  {
+    af_round = round;
+    requests_in = stats.Chain.real_in;
+    noise_added = stats.Chain.noise_added;
+    dropped = stats.Chain.dropped;
+    num_mailboxes;
+    mailbox_bytes = Mailbox.size_bytes mailboxes;
+    events;
+  }
+
+(* ---- dialing round (§5) ---- *)
+
+type dial_stats = {
+  dial_round : int;
+  tokens_in : int;
+  dial_noise_added : int;
+  dial_dropped : int;
+  dial_num_mailboxes : int;
+  filter_bytes : int array;
+  calls : (string * Client.dial_event) list;
+}
+
+let num_dial_mailboxes t ~participants =
+  let expected_real =
+    int_of_float (Float.round (float_of_int participants *. t.config.Config.active_fraction))
+  in
+  Mailbox.num_mailboxes_for ~expected_real ~noise_mu:t.config.Config.dialing_noise_mu
+    ~chain_length:t.config.Config.chain_length
+
+let run_dialing_round t ?participants () =
+  let clients = match participants with Some l -> l | None -> t.clients in
+  t.dial_round <- t.dial_round + 1;
+  let round = t.dial_round in
+  let num_mailboxes = num_dial_mailboxes t ~participants:(List.length clients) in
+  List.iter (fun c -> Client.advance_dialing c ~round) clients;
+  let server_pks = Chain.begin_round t.dial_chain in
+  let batch =
+    List.map (fun c -> Client.dialing_submission c ~num_mailboxes ~server_pks) clients
+    |> Array.of_list
+  in
+  let mailboxes, stats =
+    Chain.run_round t.dial_chain ~mode:`Dialing ~noise_mu:t.config.Config.dialing_noise_mu
+      ~laplace_b:t.config.Config.laplace_b ~num_mailboxes
+      ~noise_body:(fun ~mailbox:_ -> Drbg.bytes t.rng Wire.dial_token_size)
+      batch
+  in
+  let filters = Mailbox.filters_exn mailboxes in
+  (* archive this round's filters; erase rounds past the retention window *)
+  Hashtbl.replace t.dial_archive round (filters, num_mailboxes);
+  Hashtbl.remove t.dial_archive (round - t.config.Config.dial_archive_rounds);
+  let calls =
+    List.concat_map
+      (fun c ->
+        let mb = Mailbox.mailbox_of_identity (Client.email c) ~num_mailboxes in
+        Client.scan_dialing_mailbox c filters.(mb)
+        |> List.map (fun ev -> (Client.email c, ev)))
+      clients
+  in
+  advance_clock t ~seconds:t.config.Config.dialing_round_seconds;
+  {
+    dial_round = round;
+    tokens_in = stats.Chain.real_in;
+    dial_noise_added = stats.Chain.noise_added;
+    dial_dropped = stats.Chain.dropped;
+    dial_num_mailboxes = num_mailboxes;
+    filter_bytes = Mailbox.size_bytes mailboxes;
+    calls;
+  }
+
+let archived_filter (t : t) ~round ~email =
+  match Hashtbl.find_opt t.dial_archive round with
+  | None -> None
+  | Some (filters, k) -> Some filters.(Mailbox.mailbox_of_identity email ~num_mailboxes:k)
+
+let catch_up_client (t : t) client =
+  let first = Client.dialing_round client + 1 in
+  let through =
+    List.init
+      (Stdlib.max 0 (t.dial_round - first + 1))
+      (fun i ->
+        let round = first + i in
+        (round, archived_filter t ~round ~email:(Client.email client)))
+  in
+  Client.catch_up_dialing client ~through

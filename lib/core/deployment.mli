@@ -1,0 +1,79 @@
+(** In-process Alpenhorn deployment: N PKGs, an add-friend mixnet chain, a
+    dialing mixnet chain, a simulated email provider for registration, and
+    any number of clients — all driven round by round.
+
+    This is the real protocol end to end (every onion layer, IBE
+    ciphertext, signature and Bloom filter is genuine); only the network is
+    collapsed into function calls. Examples and integration tests run on
+    it; the latency/bandwidth figures of §8 use {!Alpenhorn_sim} instead,
+    which prices the same message flows with a hardware cost model. *)
+
+module Drbg = Alpenhorn_crypto.Drbg
+module Params = Alpenhorn_pairing.Params
+module Bls = Alpenhorn_bls.Bls
+module Pkg = Alpenhorn_pkg.Pkg
+
+type t
+
+val create : config:Config.t -> seed:string -> t
+val config : t -> Config.t
+val params : t -> Params.t
+val pkgs : t -> Pkg.t array
+val pkg_public_keys : t -> Bls.public list
+val now : t -> int
+val advance_clock : t -> seconds:int -> unit
+
+val new_client : t -> email:string -> callbacks:Client.callbacks -> Client.t
+(** Create a client wired to this deployment's PKG keys (does not
+    register it). *)
+
+val register : t -> Client.t -> (unit, Pkg.error) result
+(** Fig 1 [Register]: register the client's long-term key with every PKG,
+    completing the email-confirmation flow through the simulated provider
+    (§4.6). *)
+
+val inbox : t -> email:string -> (int * string) list
+(** Tokens the simulated email provider delivered to [email]:
+    (pkg index, token) pairs, most recent first. For compromise tests. *)
+
+type af_stats = {
+  af_round : int;
+  requests_in : int;
+  noise_added : int;
+  dropped : int;
+  num_mailboxes : int;
+  mailbox_bytes : int array;
+  events : (string * Client.af_event) list;  (** (client email, event) *)
+}
+
+val run_addfriend_round : t -> ?participants:Client.t list -> unit -> af_stats
+(** One complete add-friend round (Algorithm 1): PKG key rotation with
+    commit-reveal verification, per-client key extraction, submission,
+    mixing with noise, mailbox distribution, download and scan, key
+    erasure. [participants] defaults to every registered client. *)
+
+type dial_stats = {
+  dial_round : int;
+  tokens_in : int;
+  dial_noise_added : int;
+  dial_dropped : int;
+  dial_num_mailboxes : int;
+  filter_bytes : int array;
+  calls : (string * Client.dial_event) list;
+}
+
+val run_dialing_round : t -> ?participants:Client.t list -> unit -> dial_stats
+
+val addfriend_round_number : t -> int
+val dialing_round_number : t -> int
+
+(** {1 Offline clients (§5.1)} *)
+
+val archived_filter : t -> round:int -> email:string -> Alpenhorn_bloom.Bloom.t option
+(** The dialing mailbox [email] would download for [round], if the archive
+    still holds that round ([Config.dial_archive_rounds] retention). *)
+
+val catch_up_client : t -> Client.t -> Client.dial_event list
+(** Bring a client that skipped dialing rounds up to the current round:
+    scan every archived round it missed, advance its keywheel past the
+    expired ones (§5.1's give-up rule). *)

@@ -1,0 +1,71 @@
+module Params = Alpenhorn_pairing.Params
+module Dh = Alpenhorn_dh.Dh
+module Ibe = Alpenhorn_ibe.Ibe
+module Ratelimit = Alpenhorn_mixnet.Ratelimit
+
+type announcement = {
+  round : int;
+  mode : [ `AddFriend | `Dialing ];
+  server_pks : Dh.public list;
+  mpk_agg : Ibe.master_public option;
+  num_mailboxes : int;
+}
+
+type t = {
+  params : Params.t;
+  gate : Ratelimit.gate option;
+  mutable open_ : announcement option;
+  mutable batch : string list;
+  mutable rejected : int;
+}
+
+let create params ?token_issuer_key () =
+  let gate = Option.map (fun issuer_key -> Ratelimit.create_gate params ~issuer_key) token_issuer_key in
+  { params; gate; open_ = None; batch = []; rejected = 0 }
+
+let requires_tokens t = t.gate <> None
+
+let open_round t ann =
+  match t.open_ with
+  | Some _ -> invalid_arg "Entry.open_round: round already open"
+  | None ->
+    t.open_ <- Some ann;
+    t.batch <- []
+
+let current t = t.open_
+
+let submit t ?token onion =
+  match t.open_ with
+  | None -> Error `No_round
+  | Some _ -> begin
+    match t.gate with
+    | None ->
+      t.batch <- onion :: t.batch;
+      Ok ()
+    | Some gate -> begin
+      match token with
+      | None ->
+        t.rejected <- t.rejected + 1;
+        Error `Bad_token
+      | Some tok -> begin
+        match Ratelimit.admit gate tok with
+        | Ok () ->
+          t.batch <- onion :: t.batch;
+          Ok ()
+        | Error (`Bad_signature | `Double_spend) ->
+          t.rejected <- t.rejected + 1;
+          Error `Bad_token
+      end
+    end
+  end
+
+let close_round t =
+  match t.open_ with
+  | None -> invalid_arg "Entry.close_round: no open round"
+  | Some _ ->
+    let batch = Array.of_list (List.rev t.batch) in
+    t.open_ <- None;
+    t.batch <- [];
+    batch
+
+let submissions_rejected t = t.rejected

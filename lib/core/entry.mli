@@ -1,0 +1,52 @@
+(** The entry server (paper §7).
+
+    The prototype's entry server fronts the mixnet: it manages client
+    connections, announces when a round starts (carrying everything a
+    client needs to participate: round number, per-round mixnet keys, the
+    PKGs' revealed master keys, the mailbox count), aggregates the clients'
+    fixed-size submissions into one batch, and hands the batch to the first
+    mixnet server. It is {e untrusted}: everything it sees is either public
+    round state or an onion it cannot open.
+
+    This module also hosts the §9 rate-limiting gate: when constructed
+    with an issuer key, every submission must be accompanied by a fresh
+    blind-signature token (see {!Alpenhorn_mixnet.Ratelimit}); tokenless or
+    double-spent submissions are dropped before they reach the mixnet. *)
+
+module Params = Alpenhorn_pairing.Params
+module Dh = Alpenhorn_dh.Dh
+module Ibe = Alpenhorn_ibe.Ibe
+module Ratelimit = Alpenhorn_mixnet.Ratelimit
+
+type t
+
+type announcement = {
+  round : int;
+  mode : [ `AddFriend | `Dialing ];
+  server_pks : Dh.public list;  (** mixnet round keys, chain order *)
+  mpk_agg : Ibe.master_public option;  (** aggregated PKG key (add-friend only) *)
+  num_mailboxes : int;
+}
+
+val create : Params.t -> ?token_issuer_key:Alpenhorn_bls.Bls.public -> unit -> t
+
+val requires_tokens : t -> bool
+
+val open_round : t -> announcement -> unit
+(** Start accepting submissions for a round.
+    @raise Invalid_argument if a round is already open. *)
+
+val current : t -> announcement option
+
+val submit : t -> ?token:Ratelimit.token -> string -> (unit, [ `No_round | `Bad_token ]) result
+(** Queue one onion for the open round. When the entry server enforces
+    rate limiting, a missing, invalid or double-spent token rejects the
+    submission (client DoS resilience, §3.3/§9) — the onion never reaches
+    the mixnet. *)
+
+val close_round : t -> string array
+(** Stop accepting and return the batch for the first mixnet server.
+    @raise Invalid_argument if no round is open. *)
+
+val submissions_rejected : t -> int
+(** Total submissions dropped by the token gate since creation. *)

@@ -1,0 +1,101 @@
+module Params = Alpenhorn_pairing.Params
+module Bigint = Alpenhorn_bigint.Bigint
+module Bls = Alpenhorn_bls.Bls
+module Curve = Alpenhorn_pairing.Curve
+module Aead = Alpenhorn_crypto.Aead
+module Hmac = Alpenhorn_crypto.Hmac
+module Sha256 = Alpenhorn_crypto.Sha256
+module Util = Alpenhorn_crypto.Util
+
+type identity_backup = {
+  email : string;
+  signing_secret : Bigint.t;
+  pinned : (string * Bls.public) list;
+}
+
+let magic = "ALPENHORN-BACKUP-1"
+
+(* Iterated-hash passphrase stretching (PBKDF-ish; deliberately slow). *)
+let stretch ~passphrase ~salt =
+  let acc = ref (Sha256.digest (salt ^ passphrase)) in
+  for _ = 1 to 10_000 do
+    acc := Sha256.digest (!acc ^ passphrase)
+  done;
+  Hmac.hkdf ~salt ~info:"alpenhorn-backup" ~len:32 !acc
+
+let put_str buf s =
+  Buffer.add_string buf (Util.be32 (String.length s));
+  Buffer.add_string buf s
+
+let get_str s pos =
+  if !pos + 4 > String.length s then None
+  else begin
+    let n = Util.read_be32 s !pos in
+    pos := !pos + 4;
+    if n < 0 || !pos + n > String.length s then None
+    else begin
+      let v = String.sub s !pos n in
+      pos := !pos + n;
+      Some v
+    end
+  end
+
+let encode_plain (params : Params.t) ~email ~signing_secret ~pinned =
+  let buf = Buffer.create 256 in
+  put_str buf magic;
+  put_str buf email;
+  put_str buf (Bigint.to_bytes_be signing_secret);
+  Buffer.add_string buf (Util.be32 (List.length pinned));
+  List.iter
+    (fun (friend, key) ->
+      put_str buf friend;
+      put_str buf (Bls.public_bytes params key))
+    pinned;
+  Buffer.contents buf
+
+let decode_plain (params : Params.t) s =
+  let pos = ref 0 in
+  let ( let* ) = Option.bind in
+  let* m = get_str s pos in
+  if m <> magic then None
+  else begin
+    let* email = get_str s pos in
+    let* sk_bytes = get_str s pos in
+    if !pos + 4 > String.length s then None
+    else begin
+      let n = Util.read_be32 s !pos in
+      pos := !pos + 4;
+      let rec entries i acc =
+        if i = 0 then Some (List.rev acc)
+        else begin
+          let* friend = get_str s pos in
+          let* key_bytes = get_str s pos in
+          let* key = Bls.public_of_bytes params key_bytes in
+          if Curve.equal key Curve.Inf then None else entries (i - 1) ((friend, key) :: acc)
+        end
+      in
+      let* pinned = entries n [] in
+      Some { email; signing_secret = Bigint.of_bytes_be sk_bytes; pinned }
+    end
+  end
+
+let export_identity params ~passphrase ~email ~signing_secret ~pinned =
+  (* deterministic salt/nonce from the content keeps the module free of an
+     RNG dependency; a given backup is stable across exports *)
+  let plain = encode_plain params ~email ~signing_secret ~pinned in
+  let salt = String.sub (Sha256.digest ("backup-salt" ^ email)) 0 16 in
+  let key = stretch ~passphrase ~salt in
+  let nonce = String.sub (Sha256.digest ("backup-nonce" ^ plain)) 0 12 in
+  salt ^ nonce ^ Aead.seal ~key ~nonce ~ad:magic plain
+
+let import_identity params ~passphrase blob =
+  if String.length blob < 16 + 12 + Aead.overhead then None
+  else begin
+    let salt = String.sub blob 0 16 in
+    let nonce = String.sub blob 16 12 in
+    let body = String.sub blob 28 (String.length blob - 28) in
+    let key = stretch ~passphrase ~salt in
+    match Aead.open_ ~key ~nonce ~ad:magic body with
+    | None -> None
+    | Some plain -> decode_plain params plain
+  end

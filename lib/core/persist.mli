@@ -1,0 +1,36 @@
+(** Encrypted client-state backup and restore (paper §9).
+
+    The paper recommends keeping an offline backup of the long-term signing
+    key and the friends' pinned keys — but {e discourages} backing up
+    keywheels, "since that is bad for forward secrecy" (a backup freezes old
+    wheel keys that the live client has already erased). This module
+    implements exactly that split:
+
+    - {!export_identity} serializes the signing key and TOFU store;
+    - keywheel state is deliberately {e not} exportable;
+    - the blob is sealed with a key stretched from a passphrase, so a
+      stolen backup alone is useless.
+
+    Restore yields the materials a fresh client needs to re-run the
+    add-friend protocol with every friend ({!Client.add_friend} with the
+    restored [expected_key]), which is the paper's prescribed recovery
+    path. *)
+
+module Params = Alpenhorn_pairing.Params
+module Bigint = Alpenhorn_bigint.Bigint
+module Bls = Alpenhorn_bls.Bls
+
+type identity_backup = {
+  email : string;
+  signing_secret : Bigint.t;
+  pinned : (string * Bls.public) list;  (** friends' long-term keys *)
+}
+
+val export_identity :
+  Params.t -> passphrase:string -> email:string -> signing_secret:Bigint.t ->
+  pinned:(string * Bls.public) list -> string
+(** Serialize and seal. The passphrase is stretched with an iterated
+    hash before keying the AEAD. *)
+
+val import_identity : Params.t -> passphrase:string -> string -> identity_backup option
+(** [None] on a wrong passphrase, tampered blob, or malformed contents. *)

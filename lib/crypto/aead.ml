@@ -1,0 +1,23 @@
+let overhead = 16
+
+let mac_key ~key ~nonce = Hmac.hmac_sha256 ~key ("aead-mac" ^ nonce)
+
+let tag ~key ~nonce ~ad body =
+  String.sub
+    (Hmac.hmac_sha256 ~key:(mac_key ~key ~nonce) (Util.be64 (String.length ad) ^ ad ^ body))
+    0 16
+
+let seal ~key ~nonce ?(ad = "") msg =
+  let body = Chacha20.xor_stream ~key ~nonce msg in
+  body ^ tag ~key ~nonce ~ad body
+
+let open_ ~key ~nonce ?(ad = "") ctxt =
+  let n = String.length ctxt in
+  if n < overhead then None
+  else begin
+    let body = String.sub ctxt 0 (n - overhead) in
+    let t = String.sub ctxt (n - overhead) overhead in
+    if Util.const_time_eq t (tag ~key ~nonce ~ad body) then
+      Some (Chacha20.xor_stream ~key ~nonce body)
+    else None
+  end

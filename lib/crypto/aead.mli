@@ -1,0 +1,14 @@
+(** Authenticated encryption: ChaCha20 + HMAC-SHA256, encrypt-then-MAC.
+
+    Fills the role of NaCl secretbox in the Go prototype: onion layers and
+    the symmetric half of hybrid IBE ciphertexts. Ciphertext layout is
+    [body || tag16]; the 16-byte tag binds key, nonce and associated data. *)
+
+val overhead : int
+(** Bytes added by [seal]: 16. *)
+
+val seal : key:string -> nonce:string -> ?ad:string -> string -> string
+(** [key] 32 bytes, [nonce] 12 bytes. *)
+
+val open_ : key:string -> nonce:string -> ?ad:string -> string -> string option
+(** [None] when authentication fails. *)

@@ -1,0 +1,50 @@
+let m32 x = x land 0xffffffff
+let rotl x n = m32 ((x lsl n) lor (x lsr (32 - n)))
+
+let word s i =
+  Char.code s.[i] lor (Char.code s.[i + 1] lsl 8) lor (Char.code s.[i + 2] lsl 16)
+  lor (Char.code s.[i + 3] lsl 24)
+
+let quarter st a b c d =
+  st.(a) <- m32 (st.(a) + st.(b)); st.(d) <- rotl (st.(d) lxor st.(a)) 16;
+  st.(c) <- m32 (st.(c) + st.(d)); st.(b) <- rotl (st.(b) lxor st.(c)) 12;
+  st.(a) <- m32 (st.(a) + st.(b)); st.(d) <- rotl (st.(d) lxor st.(a)) 8;
+  st.(c) <- m32 (st.(c) + st.(d)); st.(b) <- rotl (st.(b) lxor st.(c)) 7
+
+let block ~key ~nonce ~counter =
+  if String.length key <> 32 then invalid_arg "Chacha20.block: key";
+  if String.length nonce <> 12 then invalid_arg "Chacha20.block: nonce";
+  let init = Array.make 16 0 in
+  init.(0) <- 0x61707865; init.(1) <- 0x3320646e; init.(2) <- 0x79622d32; init.(3) <- 0x6b206574;
+  for i = 0 to 7 do init.(4 + i) <- word key (4 * i) done;
+  init.(12) <- m32 counter;
+  for i = 0 to 2 do init.(13 + i) <- word nonce (4 * i) done;
+  let st = Array.copy init in
+  for _ = 1 to 10 do
+    quarter st 0 4 8 12; quarter st 1 5 9 13; quarter st 2 6 10 14; quarter st 3 7 11 15;
+    quarter st 0 5 10 15; quarter st 1 6 11 12; quarter st 2 7 8 13; quarter st 3 4 9 14
+  done;
+  let out = Bytes.create 64 in
+  for i = 0 to 15 do
+    let v = m32 (st.(i) + init.(i)) in
+    Bytes.set out (4 * i) (Char.chr (v land 0xff));
+    Bytes.set out (4 * i + 1) (Char.chr ((v lsr 8) land 0xff));
+    Bytes.set out (4 * i + 2) (Char.chr ((v lsr 16) land 0xff));
+    Bytes.set out (4 * i + 3) (Char.chr ((v lsr 24) land 0xff))
+  done;
+  Bytes.to_string out
+
+let xor_stream ~key ~nonce ?(counter = 1) msg =
+  let n = String.length msg in
+  let out = Bytes.create n in
+  let pos = ref 0 and ctr = ref counter in
+  while !pos < n do
+    let ks = block ~key ~nonce ~counter:!ctr in
+    let chunk = Stdlib.min 64 (n - !pos) in
+    for i = 0 to chunk - 1 do
+      Bytes.set out (!pos + i) (Char.chr (Char.code msg.[!pos + i] lxor Char.code ks.[i]))
+    done;
+    pos := !pos + chunk;
+    incr ctr
+  done;
+  Bytes.to_string out

@@ -1,0 +1,29 @@
+let block_size = 64
+
+let hmac_sha256 ~key msg =
+  let key = if String.length key > block_size then Sha256.digest key else key in
+  let pad c =
+    String.init block_size (fun i ->
+        let k = if i < String.length key then Char.code key.[i] else 0 in
+        Char.chr (k lxor c))
+  in
+  let inner = Sha256.digest_concat [ pad 0x36; msg ] in
+  Sha256.digest_concat [ pad 0x5c; inner ]
+
+let hkdf_extract ~salt ~ikm = hmac_sha256 ~key:salt ikm
+
+let hkdf_expand ~prk ~info ~len =
+  if len > 255 * 32 then invalid_arg "Hmac.hkdf_expand: len";
+  let buf = Buffer.create len in
+  let t = ref "" in
+  let i = ref 1 in
+  while Buffer.length buf < len do
+    t := hmac_sha256 ~key:prk (!t ^ info ^ String.make 1 (Char.chr !i));
+    Buffer.add_string buf !t;
+    incr i
+  done;
+  String.sub (Buffer.contents buf) 0 len
+
+let hkdf ?salt ~info ~len ikm =
+  let salt = match salt with Some s -> s | None -> String.make 32 '\000' in
+  hkdf_expand ~prk:(hkdf_extract ~salt ~ikm) ~info ~len

@@ -1,0 +1,19 @@
+(** SHA-256 (FIPS 180-4), pure OCaml.
+
+    Used for keywheel hashes, Bloom filter indices, mailbox assignment,
+    IBE random oracles and HMAC. Validated against RFC 6234 test vectors. *)
+
+type ctx
+
+val init : unit -> ctx
+val update : ctx -> string -> unit
+val update_bytes : ctx -> bytes -> int -> int -> unit
+
+val finalize : ctx -> string
+(** 32-byte digest. The context must not be reused afterwards. *)
+
+val digest : string -> string
+(** One-shot hash of a full string; 32 bytes. *)
+
+val digest_concat : string list -> string
+(** Hash of the concatenation of the given strings, without building it. *)

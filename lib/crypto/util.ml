@@ -1,0 +1,40 @@
+let const_time_eq a b =
+  String.length a = String.length b
+  && begin
+    let acc = ref 0 in
+    String.iteri (fun i c -> acc := !acc lor (Char.code c lxor Char.code b.[i])) a;
+    !acc = 0
+  end
+
+let xor a b =
+  if String.length a <> String.length b then invalid_arg "Util.xor";
+  String.init (String.length a) (fun i -> Char.chr (Char.code a.[i] lxor Char.code b.[i]))
+
+let to_hex s =
+  let buf = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents buf
+
+let of_hex s =
+  if String.length s mod 2 <> 0 then invalid_arg "Util.of_hex";
+  let digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> invalid_arg "Util.of_hex"
+  in
+  String.init (String.length s / 2) (fun i -> Char.chr ((digit s.[2 * i] lsl 4) lor digit s.[(2 * i) + 1]))
+
+let be32 v = String.init 4 (fun i -> Char.chr ((v lsr (8 * (3 - i))) land 0xff))
+let read_be32 s off =
+  (Char.code s.[off] lsl 24) lor (Char.code s.[off + 1] lsl 16) lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+let be64 v = String.init 8 (fun i -> Char.chr ((v lsr (8 * (7 - i))) land 0xff))
+let read_be64 s off =
+  let v = ref 0 in
+  for i = 0 to 7 do
+    v := (!v lsl 8) lor Char.code s.[off + i]
+  done;
+  !v

@@ -1,0 +1,20 @@
+(** Small byte-string helpers shared across the crypto stack. *)
+
+val const_time_eq : string -> string -> bool
+(** Length-and-content equality without early exit on content (lengths are
+    public for all uses in this library: tags and digests are fixed size). *)
+
+val xor : string -> string -> string
+(** Byte-wise XOR. @raise Invalid_argument on length mismatch. *)
+
+val to_hex : string -> string
+val of_hex : string -> string
+(** @raise Invalid_argument on malformed hex. *)
+
+val be32 : int -> string
+(** 4-byte big-endian encoding of the low 32 bits. *)
+
+val read_be32 : string -> int -> int
+
+val be64 : int -> string
+val read_be64 : string -> int -> int

@@ -1,0 +1,54 @@
+(** Boneh-Franklin identity-based encryption with the Fujisaki-Okamoto
+    transform (FullIdent), plus Alpenhorn's Anytrust-IBE aggregation (§4.2,
+    Appendix A).
+
+    The scheme is ciphertext-anonymous (§4.3): a ciphertext is a uniformly
+    random G1 point plus pseudorandom bytes, revealing nothing about the
+    recipient identity — the property Alpenhorn relies on for both mailbox
+    privacy and mixnet noise generation.
+
+    Anytrust aggregation is plain group linearity: encrypt under the {e sum}
+    of the PKGs' master public keys; decrypt with the sum of the per-PKG
+    identity keys. Compromising n−1 of n PKGs reveals nothing (Theorem 1 of
+    the paper). *)
+
+module Bigint = Alpenhorn_bigint.Bigint
+module Drbg = Alpenhorn_crypto.Drbg
+module Pairing = Alpenhorn_pairing.Pairing
+module Params = Alpenhorn_pairing.Params
+module Curve = Alpenhorn_pairing.Curve
+
+type master_secret = Bigint.t
+type master_public = Curve.point
+type identity_key = Curve.point
+
+val setup : Params.t -> Drbg.t -> master_secret * master_public
+(** One PKG's master keypair: [s ∈ Z_q*], [s·g]. *)
+
+val master_public_of_secret : Params.t -> master_secret -> master_public
+
+val extract : Params.t -> master_secret -> string -> identity_key
+(** [extract params msk id] = [s·H1(id)], the identity private key. *)
+
+val aggregate_public : Params.t -> master_public list -> master_public
+(** Sum of master public keys (Anytrust-IBE encryption key). *)
+
+val aggregate_identity : Params.t -> identity_key list -> identity_key
+(** Sum of per-PKG identity keys (Anytrust-IBE decryption key). *)
+
+val ciphertext_overhead : Params.t -> int
+(** Bytes added to the plaintext: compressed G1 point + 32-byte mask. *)
+
+val encrypt : Params.t -> Drbg.t -> master_public -> id:string -> string -> string
+(** FullIdent encryption of an arbitrary-length message to [id]. *)
+
+val decrypt : Params.t -> identity_key -> string -> string option
+(** [None] if the ciphertext is malformed, was encrypted to a different
+    identity, or fails the Fujisaki-Okamoto consistency check. Constant
+    shape regardless of failure mode (mailbox scanning calls this on every
+    ciphertext, §3.1 step 6). *)
+
+val master_public_bytes : Params.t -> master_public -> string
+val master_public_of_bytes : Params.t -> string -> master_public option
+val identity_key_bytes : Params.t -> identity_key -> string
+val identity_key_of_bytes : Params.t -> string -> identity_key option

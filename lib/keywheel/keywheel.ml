@@ -1,0 +1,73 @@
+module Hmac = Alpenhorn_crypto.Hmac
+module Util = Alpenhorn_crypto.Util
+
+type entry = { mutable key : string; mutable round : int }
+
+type t = { owner : string; table : (string, entry) Hashtbl.t; mutable clock : int }
+
+let create ~owner = { owner; table = Hashtbl.create 64; clock = 0 }
+
+let add_friend t ~email ~secret ~round =
+  if String.length secret <> 32 then invalid_arg "Keywheel.add_friend: secret must be 32 bytes";
+  if round < 0 then invalid_arg "Keywheel.add_friend: negative round";
+  Hashtbl.replace t.table email { key = secret; round }
+
+let remove_friend t ~email = Hashtbl.remove t.table email
+
+let friends t = Hashtbl.fold (fun email _ acc -> email :: acc) t.table [] |> List.sort compare
+let friend_count t = Hashtbl.length t.table
+let entry_round t ~email = Option.map (fun e -> e.round) (Hashtbl.find_opt t.table email)
+let current_round t = t.clock
+
+(* H1: evolve the wheel key; H2: dial token for an intent, bound to the
+   callee so tokens are directional (a caller never mistakes their own
+   outgoing token for an incoming call); H3: session key (shared, so no
+   direction binding) *)
+let next_key key = Hmac.hmac_sha256 ~key "keywheel-h1"
+
+let token_of key ~callee intent =
+  Hmac.hmac_sha256 ~key ("keywheel-h2" ^ Util.be32 intent ^ callee)
+
+let session_of key = Hmac.hmac_sha256 ~key "keywheel-h3"
+
+let advance_entry e ~round =
+  while e.round < round do
+    e.key <- next_key e.key;
+    e.round <- e.round + 1
+  done
+
+let advance_to t ~round =
+  if round < t.clock then invalid_arg "Keywheel.advance_to: cannot rewind";
+  t.clock <- round;
+  Hashtbl.iter (fun _ e -> advance_entry e ~round) t.table
+
+let dial_token t ~email ~intent =
+  match Hashtbl.find_opt t.table email with
+  | None -> None
+  | Some e -> if e.round > t.clock then None else Some (token_of e.key ~callee:email intent)
+
+let expected_tokens t ~max_intents =
+  Hashtbl.fold
+    (fun email e acc ->
+      if e.round > t.clock then acc
+      else begin
+        let rec go intent acc =
+          if intent < 0 then acc
+          else go (intent - 1) ((email, intent, token_of e.key ~callee:t.owner intent) :: acc)
+        in
+        go (max_intents - 1) acc
+      end)
+    t.table []
+
+let session_key t ~email =
+  match Hashtbl.find_opt t.table email with
+  | None -> None
+  | Some e -> if e.round > t.clock then None else Some (session_of e.key)
+
+let peek_token_at ~secret ~from_round ~at_round ~callee ~intent =
+  if at_round < from_round then invalid_arg "Keywheel.peek_token_at";
+  let key = ref secret in
+  for _ = from_round + 1 to at_round do
+    key := next_key !key
+  done;
+  token_of !key ~callee intent

@@ -1,0 +1,110 @@
+module Sha256 = Alpenhorn_crypto.Sha256
+module Util = Alpenhorn_crypto.Util
+
+(* Certificate-Transparency-style Merkle tree (RFC 6962 shape): leaves
+   prefixed 0x00, interior nodes 0x01; an odd node at any level is promoted
+   unchanged. *)
+
+type t = {
+  mutable leaves : string array; (* leaf hashes *)
+  mutable n : int;
+  index : (string, (int * string) list) Hashtbl.t; (* identity -> bindings *)
+}
+
+type proof = { path : string list (* sibling hashes, leaf-to-root order *) }
+
+let create () = { leaves = Array.make 16 ""; n = 0; index = Hashtbl.create 64 }
+
+let leaf_hash ~identity ~key_bytes =
+  Sha256.digest ("\x00" ^ Util.be32 (String.length identity) ^ identity ^ key_bytes)
+
+let node_hash l r = Sha256.digest ("\x01" ^ l ^ r)
+
+let append t ~identity ~key_bytes =
+  if t.n = Array.length t.leaves then begin
+    let bigger = Array.make (2 * t.n) "" in
+    Array.blit t.leaves 0 bigger 0 t.n;
+    t.leaves <- bigger
+  end;
+  t.leaves.(t.n) <- leaf_hash ~identity ~key_bytes;
+  let existing = Option.value ~default:[] (Hashtbl.find_opt t.index identity) in
+  Hashtbl.replace t.index identity ((t.n, key_bytes) :: existing);
+  t.n <- t.n + 1;
+  t.n - 1
+
+let size t = t.n
+
+(* root of leaves[lo, lo+len) *)
+let rec subtree_root leaves lo len =
+  if len = 1 then leaves.(lo)
+  else begin
+    (* split at the largest power of two < len (RFC 6962) *)
+    let k = ref 1 in
+    while 2 * !k < len do
+      k := 2 * !k
+    done;
+    node_hash (subtree_root leaves lo !k) (subtree_root leaves (lo + !k) (len - !k))
+  end
+
+let root t = if t.n = 0 then "" else subtree_root t.leaves 0 t.n
+
+(* the RFC 6962 split point: largest power of two strictly below len *)
+let split len =
+  let k = ref 1 in
+  while 2 * !k < len do
+    k := 2 * !k
+  done;
+  !k
+
+let prove t i =
+  if i < 0 || i >= t.n then invalid_arg "Ledger.prove: index";
+  (* audit path within leaves[lo, lo+len) for absolute index i; collected
+     while descending, so the result is leaf-to-root order *)
+  let rec path lo len i acc =
+    if len = 1 then acc
+    else begin
+      let k = split len in
+      if i < lo + k then path lo k i (subtree_root t.leaves (lo + k) (len - k) :: acc)
+      else path (lo + k) (len - k) i (subtree_root t.leaves lo k :: acc)
+    end
+  in
+  { path = path 0 t.n i [] }
+
+(* Which side each sibling sits on is a function of (size, index) alone —
+   the verifier derives it rather than trusting the proof, so a proof for
+   one index can never verify under another. Leaf-to-root order, [`R] when
+   the sibling is the right subtree. *)
+let audit_sides ~size ~index =
+  let rec go lo len acc =
+    if len = 1 then acc
+    else begin
+      let k = split len in
+      if index < lo + k then go lo k (`R :: acc) else go (lo + k) (len - k) (`L :: acc)
+    end
+  in
+  go 0 size []
+
+let verify_inclusion ~root:expected ~size ~index ~leaf proof =
+  if size <= 0 || index < 0 || index >= size then false
+  else begin
+    let sides = audit_sides ~size ~index in
+    List.length sides = List.length proof.path
+    && List.for_all (fun h -> String.length h = 32) proof.path
+    &&
+    let acc =
+      List.fold_left2
+        (fun acc side h -> match side with `R -> node_hash acc h | `L -> node_hash h acc)
+        leaf sides proof.path
+    in
+    Util.const_time_eq acc expected
+  end
+
+let proof_size proof = List.length proof.path
+
+let bindings_for t ~identity =
+  Option.value ~default:[] (Hashtbl.find_opt t.index identity) |> List.rev
+
+let consistent t ~old_size ~old_root =
+  if old_size < 0 || old_size > t.n then false
+  else if old_size = 0 then old_root = ""
+  else Util.const_time_eq (subtree_root t.leaves 0 old_size) old_root

@@ -1,0 +1,62 @@
+(** A verifiable key ledger (paper §3.2, worst-case security).
+
+    The paper's third worst-case defense — left unimplemented in the
+    prototype — is registering long-term keys "in a verifiable ledger
+    (such as Keybase or Namecoin)" and sending new friends a proof of
+    registration, so that even with {e every} Alpenhorn server compromised
+    a man-in-the-middle needs to publish a conflicting binding where the
+    victim can detect it.
+
+    This module implements that ledger as an append-only Merkle log of
+    (identity, key) bindings, in the Certificate-Transparency style:
+
+    - anyone can {!append} a binding and obtain its index;
+    - {!root} summarizes the whole log in 32 bytes — the value users
+      gossip or pin;
+    - {!prove} produces a logarithmic inclusion proof that
+      {!verify_inclusion} checks against a pinned root;
+    - {!consistent} proves one root extends another, so a monitoring
+      client can advance its pin without trusting the log operator.
+
+    A user detecting impersonation (§3.2) is exactly a user monitoring
+    the log for bindings of their own identity under keys they never
+    registered: {!bindings_for}. *)
+
+type t
+
+type proof
+(** Inclusion proof: the Merkle audit path for one leaf. *)
+
+val create : unit -> t
+
+val append : t -> identity:string -> key_bytes:string -> int
+(** Append a binding; returns its leaf index. Duplicate identities are
+    allowed (that is the point: conflicting bindings must be visible). *)
+
+val size : t -> int
+
+val root : t -> string
+(** 32-byte Merkle root of the current log ("" for an empty log). *)
+
+val leaf_hash : identity:string -> key_bytes:string -> string
+(** Domain-separated leaf hash (second-preimage-resistant: leaves and
+    interior nodes use distinct prefixes). *)
+
+val prove : t -> int -> proof
+(** @raise Invalid_argument if the index is out of range. *)
+
+val verify_inclusion :
+  root:string -> size:int -> index:int -> leaf:string -> proof -> bool
+(** Check that [leaf] is the [index]-th of [size] leaves under [root]. *)
+
+val proof_size : proof -> int
+(** Number of hashes in the audit path (log₂ of the tree size). *)
+
+val bindings_for : t -> identity:string -> (int * string) list
+(** All (index, key_bytes) bindings published for an identity — what a
+    monitoring client checks to detect impersonation. *)
+
+val consistent : t -> old_size:int -> old_root:string -> bool
+(** Does the current log extend the log that had [old_root] at
+    [old_size]? (Recomputed directly; a production log would serve
+    CT-style consistency proofs, which carry the same information.) *)

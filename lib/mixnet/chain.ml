@@ -1,0 +1,48 @@
+module Drbg = Alpenhorn_crypto.Drbg
+module Params = Alpenhorn_pairing.Params
+module Dh = Alpenhorn_dh.Dh
+
+type t = { params : Params.t; servers : Server.t array }
+
+type stats = { real_in : int; noise_added : int; dropped : int; num_mailboxes : int }
+
+let create params ~rng ~chain_length =
+  if chain_length < 1 then invalid_arg "Chain.create: length";
+  let servers =
+    Array.init chain_length (fun i ->
+        Server.create params
+          ~rng:(Drbg.derive rng (Printf.sprintf "mix-server-%d" i))
+          ~position:i ~chain_length)
+  in
+  { params; servers }
+
+let chain_length t = Array.length t.servers
+let servers t = t.servers
+
+let begin_round t = Array.to_list (Array.map Server.new_round t.servers)
+
+let round_pks t =
+  Array.to_list t.servers
+  |> List.map (fun s ->
+         match Server.round_public s with
+         | Some pk -> pk
+         | None -> invalid_arg "Chain.round_pks: round not started")
+
+let run_round t ~mode ~noise_mu ~laplace_b ~num_mailboxes ~noise_body batch =
+  let n = Array.length t.servers in
+  let pks = Array.of_list (round_pks t) in
+  let total_noise = ref 0 in
+  let current = ref batch in
+  for i = 0 to n - 1 do
+    let downstream_pks = Array.to_list (Array.sub pks (i + 1) (n - i - 1)) in
+    let out, noise =
+      Server.process t.servers.(i) ~downstream_pks ~noise_mu ~laplace_b ~num_mailboxes ~noise_body
+        !current
+    in
+    total_noise := !total_noise + noise;
+    current := out
+  done;
+  Array.iter Server.end_round t.servers;
+  let mailboxes, dropped = Mailbox.distribute ~num_mailboxes ~mode !current in
+  ( mailboxes,
+    { real_in = Array.length batch; noise_added = !total_noise; dropped; num_mailboxes } )

@@ -1,0 +1,39 @@
+(** Whole-chain round orchestration: announce keys, run every server's
+    unwrap/noise/shuffle pass in order, distribute into mailboxes.
+
+    This is the in-process deployment used by examples, tests and
+    small-scale end-to-end benchmarks; the discrete-event simulator drives
+    the same {!Server} objects with explicit timing instead. *)
+
+module Drbg = Alpenhorn_crypto.Drbg
+module Params = Alpenhorn_pairing.Params
+
+type t
+
+type stats = {
+  real_in : int;  (** onions submitted by clients *)
+  noise_added : int;  (** total noise messages across servers *)
+  dropped : int;  (** cover traffic + undecryptable *)
+  num_mailboxes : int;
+}
+
+val create : Params.t -> rng:Drbg.t -> chain_length:int -> t
+val chain_length : t -> int
+val servers : t -> Server.t array
+
+val begin_round : t -> Alpenhorn_dh.Dh.public list
+(** Rotate every server's round key; returns the public keys, in chain
+    order, for clients to onion-wrap against. *)
+
+val round_pks : t -> Alpenhorn_dh.Dh.public list
+
+val run_round :
+  t ->
+  mode:[ `AddFriend | `Dialing ] ->
+  noise_mu:float ->
+  laplace_b:float ->
+  num_mailboxes:int ->
+  noise_body:Server.noise_body ->
+  string array ->
+  Mailbox.t * stats
+(** Process one batch end-to-end and erase all round keys. *)

@@ -1,0 +1,44 @@
+module Sha256 = Alpenhorn_crypto.Sha256
+module Util = Alpenhorn_crypto.Util
+module Bloom = Alpenhorn_bloom.Bloom
+
+type t = Plain of string list array | Filters of Bloom.t array
+
+let num_mailboxes_for ~expected_real ~noise_mu ~chain_length =
+  let per_mailbox = noise_mu *. float_of_int chain_length in
+  Stdlib.max 1 (int_of_float (Float.round (float_of_int expected_real /. per_mailbox)))
+
+let mailbox_of_identity email ~num_mailboxes =
+  let d = Sha256.digest ("mailbox" ^ email) in
+  (Util.read_be64 d 0 land max_int) mod num_mailboxes
+
+let distribute ~num_mailboxes ~mode payloads =
+  let buckets = Array.make num_mailboxes [] in
+  let dropped = ref 0 in
+  Array.iter
+    (fun p ->
+      match Payload.decode p with
+      | Some (mb, body) when mb >= 0 && mb < num_mailboxes -> buckets.(mb) <- body :: buckets.(mb)
+      | Some _ | None -> incr dropped)
+    payloads;
+  let t =
+    match mode with
+    | `AddFriend -> Plain buckets
+    | `Dialing ->
+      Filters
+        (Array.map
+           (fun tokens ->
+             let f = Bloom.create ~expected_elements:(Stdlib.max 1 (List.length tokens)) in
+             List.iter (Bloom.add f) tokens;
+             f)
+           buckets)
+  in
+  (t, !dropped)
+
+let size_bytes t =
+  match t with
+  | Plain buckets -> Array.map (fun l -> List.fold_left (fun acc s -> acc + String.length s) 0 l) buckets
+  | Filters fs -> Array.map Bloom.size_bytes fs
+
+let plain_exn = function Plain p -> p | Filters _ -> invalid_arg "Mailbox.plain_exn"
+let filters_exn = function Filters f -> f | Plain _ -> invalid_arg "Mailbox.filters_exn"

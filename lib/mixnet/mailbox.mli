@@ -1,0 +1,28 @@
+(** Mailbox distribution at the end of the mixnet chain (§3.1 steps 3-4).
+
+    The last server groups payloads by mailbox id. Add-friend mailboxes
+    hold the raw encrypted requests; dialing mailboxes are packed into
+    Bloom filters (§5.2). Clients fetch the mailbox [H(email) mod K].
+
+    Mailbox-count policy (§6): keep real traffic and noise roughly balanced,
+    i.e. [K ≈ expected_real / (µ · chain_length)], clamped to at least 1. *)
+
+type t =
+  | Plain of string list array  (** add-friend: one list of ciphertexts per mailbox *)
+  | Filters of Alpenhorn_bloom.Bloom.t array  (** dialing: one Bloom filter per mailbox *)
+
+val num_mailboxes_for : expected_real:int -> noise_mu:float -> chain_length:int -> int
+
+val mailbox_of_identity : string -> num_mailboxes:int -> int
+(** [H(email) mod K]. *)
+
+val distribute : num_mailboxes:int -> mode:[ `AddFriend | `Dialing ] -> string array -> t * int
+(** Split final payloads into mailboxes; cover traffic and out-of-range ids
+    are dropped. Returns the mailboxes and the number of dropped
+    messages. *)
+
+val size_bytes : t -> int array
+(** Download size of each mailbox as the client sees it. *)
+
+val plain_exn : t -> string list array
+val filters_exn : t -> Alpenhorn_bloom.Bloom.t array

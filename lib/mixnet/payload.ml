@@ -1,0 +1,12 @@
+module Util = Alpenhorn_crypto.Util
+
+let cover = 0xFFFFFFF
+let overhead = 4
+
+let encode ~mailbox body =
+  if mailbox < 0 || mailbox > cover then invalid_arg "Payload.encode: mailbox";
+  Util.be32 mailbox ^ body
+
+let decode s =
+  if String.length s < overhead then None
+  else Some (Util.read_be32 s 0, String.sub s overhead (String.length s - overhead))

@@ -1,0 +1,12 @@
+(** Innermost mixnet payload: destination mailbox id + body (§3.1 step 3).
+
+    The mailbox id is in the clear {e inside} all onion layers, so only the
+    last mixnet server sees it. The special id {!cover} marks cover traffic,
+    which the last server drops without further processing. *)
+
+val cover : int
+(** Mailbox id reserved for cover traffic. *)
+
+val encode : mailbox:int -> string -> string
+val decode : string -> (int * string) option
+val overhead : int

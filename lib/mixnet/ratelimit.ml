@@ -1,0 +1,67 @@
+module Drbg = Alpenhorn_crypto.Drbg
+module Util = Alpenhorn_crypto.Util
+module Params = Alpenhorn_pairing.Params
+module Curve = Alpenhorn_pairing.Curve
+module Bls = Alpenhorn_bls.Bls
+module Blind = Alpenhorn_bls.Blind
+
+type issuer = {
+  params : Params.t;
+  sk : Bls.secret;
+  pk : Bls.public;
+  quota : int;
+  issued : (string * int, int) Hashtbl.t; (* (user, day) -> count *)
+}
+
+let create_issuer params ~rng ~quota_per_day =
+  if quota_per_day < 1 then invalid_arg "Ratelimit.create_issuer: quota";
+  let sk, pk = Bls.keygen params rng in
+  { params; sk; pk; quota = quota_per_day; issued = Hashtbl.create 256 }
+
+let issuer_public t = t.pk
+
+let issue t ~now ~user blinded =
+  let day = now / 86_400 in
+  let used = Option.value ~default:0 (Hashtbl.find_opt t.issued (user, day)) in
+  if used >= t.quota then Error `Quota_exhausted
+  else begin
+    Hashtbl.replace t.issued (user, day) (used + 1);
+    Ok (Blind.sign_blinded t.params t.sk blinded)
+  end
+
+type token = { serial : string; signature : Bls.signature }
+
+let serial_size = 16
+
+let fresh_serial rng = Drbg.bytes rng serial_size
+
+let token_size (params : Params.t) = serial_size + Curve.point_bytes params.fp
+
+let token_bytes (params : Params.t) t =
+  if String.length t.serial <> serial_size then invalid_arg "Ratelimit.token_bytes: serial";
+  t.serial ^ Bls.signature_bytes params t.signature
+
+let token_of_bytes (params : Params.t) s =
+  if String.length s <> token_size params then None
+  else begin
+    match Bls.signature_of_bytes params (String.sub s serial_size (String.length s - serial_size)) with
+    | None -> None
+    | Some signature -> Some { serial = String.sub s 0 serial_size; signature }
+  end
+
+type gate = { gparams : Params.t; issuer_key : Bls.public; seen : (string, unit) Hashtbl.t }
+
+let create_gate params ~issuer_key = { gparams = params; issuer_key; seen = Hashtbl.create 4096 }
+
+let admit g t =
+  if Hashtbl.mem g.seen t.serial then Error `Double_spend
+  else if not (Blind.verify g.gparams g.issuer_key ~msg:t.serial t.signature) then
+    Error `Bad_signature
+  else begin
+    Hashtbl.replace g.seen t.serial ();
+    Ok ()
+  end
+
+let spent_count g = Hashtbl.length g.seen
+
+let _ = Util.to_hex (* silence unused-module warning if Util becomes unused *)

@@ -1,0 +1,48 @@
+(** Rate-limited mixnet admission via blind signatures (paper §9).
+
+    A malicious swarm of clients could fill mailboxes with real (non-cover)
+    requests every round, forcing the mixnet to create extra mailboxes and
+    inflating server cost. The paper's mitigation: servers issue each
+    registered user a bounded number of blinded signatures per day; every
+    submission must carry a fresh unblinded token or be rejected. Because
+    the signatures are blind, the entry server cannot link a spent token to
+    its issuance — no metadata leaks.
+
+    {!issuer} enforces the per-user daily quota; {!gate} verifies tokens
+    and rejects double-spends. *)
+
+module Drbg = Alpenhorn_crypto.Drbg
+module Params = Alpenhorn_pairing.Params
+module Bls = Alpenhorn_bls.Bls
+
+(** {1 Issuance (runs next to the PKGs, per registered user)} *)
+
+type issuer
+
+val create_issuer : Params.t -> rng:Drbg.t -> quota_per_day:int -> issuer
+val issuer_public : issuer -> Bls.public
+
+val issue :
+  issuer -> now:int -> user:string -> Alpenhorn_bls.Blind.blinded -> (Alpenhorn_pairing.Curve.point, [ `Quota_exhausted ]) result
+(** Sign one blinded serial for [user]; at most [quota_per_day] per user
+    per UTC day. *)
+
+(** {1 Tokens (client side)} *)
+
+type token = { serial : string; signature : Bls.signature }
+
+val fresh_serial : Drbg.t -> string
+val token_bytes : Params.t -> token -> string
+val token_of_bytes : Params.t -> string -> token option
+val token_size : Params.t -> int
+
+(** {1 Admission (runs on the entry/first mixnet server)} *)
+
+type gate
+
+val create_gate : Params.t -> issuer_key:Bls.public -> gate
+
+val admit : gate -> token -> (unit, [ `Bad_signature | `Double_spend ]) result
+(** Accept a token once: valid signature on an unseen serial. *)
+
+val spent_count : gate -> int

@@ -1,0 +1,58 @@
+module Drbg = Alpenhorn_crypto.Drbg
+module Params = Alpenhorn_pairing.Params
+module Dh = Alpenhorn_dh.Dh
+
+type t = {
+  params : Params.t;
+  rng : Drbg.t;
+  pos : int;
+  chain_length : int;
+  mutable round_key : (Dh.secret * Dh.public) option;
+}
+
+type noise_body = mailbox:int -> string
+
+let create params ~rng ~position ~chain_length =
+  if position < 0 || position >= chain_length then invalid_arg "Server.create: position";
+  { params; rng; pos = position; chain_length; round_key = None }
+
+let position t = t.pos
+
+let new_round t =
+  let kp = Dh.keygen t.params t.rng in
+  t.round_key <- Some kp;
+  snd kp
+
+let round_public t = Option.map snd t.round_key
+
+let sample_noise_count rng ~mu ~b =
+  let x = Drbg.laplace rng ~mu ~b in
+  let n = int_of_float (Float.round x) in
+  if n < 0 then 0 else n
+
+let process t ~downstream_pks ~noise_mu ~laplace_b ~num_mailboxes ~noise_body batch =
+  let sk =
+    match t.round_key with
+    | None -> invalid_arg "Server.process: no round key (call new_round)"
+    | Some (sk, _) -> sk
+  in
+  let unwrapped =
+    Array.to_list batch |> List.filter_map (fun onion -> Onion.unwrap t.params ~sk onion)
+  in
+  (* Noise for every real mailbox, wrapped for the rest of the chain so the
+     next servers cannot distinguish it from client traffic. *)
+  let noise = ref [] and noise_count = ref 0 in
+  for mailbox = 0 to num_mailboxes - 1 do
+    let n = sample_noise_count t.rng ~mu:noise_mu ~b:laplace_b in
+    noise_count := !noise_count + n;
+    for _ = 1 to n do
+      let payload = Payload.encode ~mailbox (noise_body ~mailbox) in
+      let wrapped = Onion.wrap t.params t.rng ~server_pks:downstream_pks payload in
+      noise := wrapped :: !noise
+    done
+  done;
+  let out = Array.of_list (List.rev_append !noise unwrapped) in
+  Drbg.shuffle t.rng out;
+  (out, !noise_count)
+
+let end_round t = t.round_key <- None

@@ -1,0 +1,46 @@
+(** One mixnet server (Vuvuzela design, §6).
+
+    Each round, a server: announces a fresh DH public key; receives a batch
+    of onions; strips its layer; adds Laplace-distributed noise addressed to
+    every mailbox (wrapped for the rest of the chain, so downstream servers
+    cannot tell noise from real traffic); applies a secret uniformly random
+    permutation; and forwards. At the end of the round the server erases its
+    round secret key — the forward-secrecy step.
+
+    Anytrust: as long as one server's permutation and round key stay secret,
+    the adversary cannot link an entering onion to an exiting payload. *)
+
+module Drbg = Alpenhorn_crypto.Drbg
+module Params = Alpenhorn_pairing.Params
+
+type t
+
+type noise_body = mailbox:int -> string
+(** Generator for one noise message body destined to [mailbox]. *)
+
+val create : Params.t -> rng:Drbg.t -> position:int -> chain_length:int -> t
+(** [position] is 0-based within the chain. *)
+
+val position : t -> int
+
+val new_round : t -> Alpenhorn_dh.Dh.public
+(** Rotate the round keypair and return the public half. *)
+
+val round_public : t -> Alpenhorn_dh.Dh.public option
+
+val process :
+  t ->
+  downstream_pks:Alpenhorn_dh.Dh.public list ->
+  noise_mu:float ->
+  laplace_b:float ->
+  num_mailboxes:int ->
+  noise_body:noise_body ->
+  string array ->
+  string array * int
+(** Unwrap, add noise, shuffle. [downstream_pks] are the round keys of the
+    servers after this one (empty for the last). Returns the outgoing batch
+    and the number of noise messages added. Onions that fail to decrypt are
+    dropped (client DoS resilience, §3.3). *)
+
+val end_round : t -> unit
+(** Erase the round secret key. [process] after [end_round] raises. *)

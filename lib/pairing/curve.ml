@@ -1,0 +1,173 @@
+module Bigint = Alpenhorn_bigint.Bigint
+
+type point = Inf | Affine of { x : Bigint.t; y : Bigint.t }
+
+let infinity = Inf
+
+let is_on_curve f p =
+  match p with
+  | Inf -> true
+  | Affine { x; y } ->
+    Field.equal (Field.sqr f y) (Field.add f (Field.mul f (Field.sqr f x) x) Bigint.one)
+
+let make f ~x ~y =
+  let p = Affine { x; y } in
+  if is_on_curve f p then p else invalid_arg "Curve.make: not on curve"
+
+let equal a b =
+  match (a, b) with
+  | Inf, Inf -> true
+  | Affine a, Affine b -> Bigint.equal a.x b.x && Bigint.equal a.y b.y
+  | Inf, Affine _ | Affine _, Inf -> false
+
+let neg f p =
+  match p with Inf -> Inf | Affine { x; y } -> Affine { x; y = Field.neg f y }
+
+let double f p =
+  match p with
+  | Inf -> Inf
+  | Affine { x; y } ->
+    if Field.is_zero y then Inf
+    else begin
+      let lambda = Field.mul f (Field.mul_int f (Field.sqr f x) 3) (Field.inv f (Field.mul_int f y 2)) in
+      let x3 = Field.sub f (Field.sqr f lambda) (Field.mul_int f x 2) in
+      let y3 = Field.sub f (Field.mul f lambda (Field.sub f x x3)) y in
+      Affine { x = x3; y = y3 }
+    end
+
+let add f p q =
+  match (p, q) with
+  | Inf, r | r, Inf -> r
+  | Affine a, Affine b ->
+    if Bigint.equal a.x b.x then begin
+      if Bigint.equal a.y b.y then double f p else Inf
+    end
+    else begin
+      let lambda = Field.mul f (Field.sub f b.y a.y) (Field.inv f (Field.sub f b.x a.x)) in
+      let x3 = Field.sub f (Field.sub f (Field.sqr f lambda) a.x) b.x in
+      let y3 = Field.sub f (Field.mul f lambda (Field.sub f a.x x3)) a.y in
+      Affine { x = x3; y = y3 }
+    end
+
+let mul_affine f k p =
+  if Bigint.sign k < 0 then invalid_arg "Curve.mul: negative scalar";
+  let nb = Bigint.numbits k in
+  let acc = ref Inf and b = ref p in
+  for i = 0 to nb - 1 do
+    if Bigint.testbit k i then acc := add f !acc !b;
+    b := double f !b
+  done;
+  !acc
+
+(* Jacobian coordinates (X : Y : Z) ≡ (X/Z², Y/Z³), Z = 0 for infinity:
+   scalar multiplication with a single inversion at the end instead of one
+   per point operation. This is the hot path under IBE encryption, BLS
+   signing and DH keygen; the affine ladder above is kept as the reference
+   the property tests compare against. *)
+module Jac = struct
+  type jpoint = { jx : Bigint.t; jy : Bigint.t; jz : Bigint.t }
+
+  let infinity = { jx = Bigint.one; jy = Bigint.one; jz = Bigint.zero }
+  let is_infinity p = Bigint.is_zero p.jz
+
+  let of_affine = function
+    | Inf -> infinity
+    | Affine { x; y } -> { jx = x; jy = y; jz = Bigint.one }
+
+  let to_affine f p =
+    if is_infinity p then Inf
+    else begin
+      let zinv = Field.inv f p.jz in
+      let zinv2 = Field.sqr f zinv in
+      Affine { x = Field.mul f p.jx zinv2; y = Field.mul f p.jy (Field.mul f zinv2 zinv) }
+    end
+
+  (* dbl-2009-l (curve coefficient a = 0): 2M + 5S *)
+  let double f p =
+    if is_infinity p || Bigint.is_zero p.jy then infinity
+    else begin
+      let a = Field.sqr f p.jx in
+      let b = Field.sqr f p.jy in
+      let c = Field.sqr f b in
+      let t = Field.sqr f (Field.add f p.jx b) in
+      let d = Field.mul_int f (Field.sub f (Field.sub f t a) c) 2 in
+      let e = Field.mul_int f a 3 in
+      let ff = Field.sqr f e in
+      let x3 = Field.sub f ff (Field.mul_int f d 2) in
+      let y3 = Field.sub f (Field.mul f e (Field.sub f d x3)) (Field.mul_int f c 8) in
+      let z3 = Field.mul_int f (Field.mul f p.jy p.jz) 2 in
+      { jx = x3; jy = y3; jz = z3 }
+    end
+
+  (* add-2007-bl: general Jacobian addition, 11M + 5S *)
+  let add f p q =
+    if is_infinity p then q
+    else if is_infinity q then p
+    else begin
+      let z1z1 = Field.sqr f p.jz in
+      let z2z2 = Field.sqr f q.jz in
+      let u1 = Field.mul f p.jx z2z2 in
+      let u2 = Field.mul f q.jx z1z1 in
+      let s1 = Field.mul f p.jy (Field.mul f q.jz z2z2) in
+      let s2 = Field.mul f q.jy (Field.mul f p.jz z1z1) in
+      if Field.equal u1 u2 then begin
+        if Field.equal s1 s2 then double f p else infinity
+      end
+      else begin
+        let h = Field.sub f u2 u1 in
+        let i = Field.sqr f (Field.mul_int f h 2) in
+        let j = Field.mul f h i in
+        let r = Field.mul_int f (Field.sub f s2 s1) 2 in
+        let v = Field.mul f u1 i in
+        let x3 = Field.sub f (Field.sub f (Field.sqr f r) j) (Field.mul_int f v 2) in
+        let y3 =
+          Field.sub f (Field.mul f r (Field.sub f v x3)) (Field.mul_int f (Field.mul f s1 j) 2)
+        in
+        let z3 =
+          Field.mul f
+            (Field.sub f (Field.sqr f (Field.add f p.jz q.jz)) (Field.add f z1z1 z2z2))
+            h
+        in
+        { jx = x3; jy = y3; jz = z3 }
+      end
+    end
+end
+
+let mul f k p =
+  if Bigint.sign k < 0 then invalid_arg "Curve.mul: negative scalar";
+  let nb = Bigint.numbits k in
+  let acc = ref Jac.infinity and b = ref (Jac.of_affine p) in
+  for i = 0 to nb - 1 do
+    if Bigint.testbit k i then acc := Jac.add f !acc !b;
+    b := Jac.double f !b
+  done;
+  Jac.to_affine f !acc
+
+let point_bytes f = Field.element_bytes f + 1
+
+let to_bytes f p =
+  match p with
+  | Inf -> String.make (point_bytes f) '\xff'
+  | Affine { x; y } ->
+    Field.to_bytes f x ^ String.make 1 (if Bigint.is_even y then '\x00' else '\x01')
+
+let of_bytes f s =
+  if String.length s <> point_bytes f then None
+  else if String.for_all (fun c -> c = '\xff') s then Some Inf
+  else begin
+    let n = Field.element_bytes f in
+    match s.[n] with
+    | '\x00' | '\x01' -> begin
+      match Field.of_bytes f (String.sub s 0 n) with
+      | exception Invalid_argument _ -> None
+      | x ->
+        let rhs = Field.add f (Field.mul f (Field.sqr f x) x) Bigint.one in
+        (match Field.sqrt f rhs with
+         | None -> None
+         | Some y ->
+           let want_odd = s.[n] = '\x01' in
+           let y = if Bigint.is_even y = want_odd then Field.neg f y else y in
+           Some (Affine { x; y }))
+    end
+    | _ -> None
+  end

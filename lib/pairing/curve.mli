@@ -1,0 +1,36 @@
+(** The supersingular curve [E : y² = x³ + 1] over [F_p].
+
+    With [p ≡ 2 (mod 3)] this curve is supersingular and
+    [#E(F_p) = p + 1]. G1 is its order-q subgroup. Affine coordinates
+    throughout (inversions via extended Euclid are cheap at our sizes and
+    keep the Miller-loop line functions straightforward). *)
+
+module Bigint = Alpenhorn_bigint.Bigint
+
+type point = Inf | Affine of { x : Bigint.t; y : Bigint.t }
+
+val infinity : point
+val make : Field.t -> x:Bigint.t -> y:Bigint.t -> point
+(** @raise Invalid_argument if not on the curve. *)
+
+val is_on_curve : Field.t -> point -> bool
+val equal : point -> point -> bool
+val neg : Field.t -> point -> point
+val add : Field.t -> point -> point -> point
+val double : Field.t -> point -> point
+val mul : Field.t -> Bigint.t -> point -> point
+(** Scalar multiplication: double-and-add over Jacobian coordinates, one
+    field inversion total (the hot path of IBE, BLS and DH). *)
+
+val mul_affine : Field.t -> Bigint.t -> point -> point
+(** Reference ladder over affine operations (one inversion per step);
+    property tests check [mul] against it. *)
+
+val point_bytes : Field.t -> int
+(** Serialized size: one field element plus a parity byte. *)
+
+val to_bytes : Field.t -> point -> string
+(** Compressed: [x || sign-of-y] ; the point at infinity is all-0xFF. *)
+
+val of_bytes : Field.t -> string -> point option
+(** Decompress; [None] if malformed or not on the curve. *)

@@ -1,0 +1,53 @@
+(** Prime field [F_p] arithmetic.
+
+    A {!t} is a field descriptor holding the modulus and precomputed
+    constants (Barrett µ for reduction, square/cube-root exponents).
+    Elements are plain {!Alpenhorn_bigint.Bigint.t} values kept in
+    [[0, p)]; all operations take the descriptor explicitly.
+
+    The Alpenhorn parameter family guarantees [p ≡ 11 (mod 12)], i.e.
+    [p ≡ 3 (mod 4)] (so [-1] is a non-residue and square roots are a single
+    exponentiation) and [p ≡ 2 (mod 3)] (so cubing is a bijection and cube
+    roots are a single exponentiation — the Boneh-Franklin admissible
+    encoding). *)
+
+module Bigint = Alpenhorn_bigint.Bigint
+
+type t
+
+val create : Bigint.t -> t
+(** @raise Invalid_argument if the modulus is not ≡ 11 (mod 12). *)
+
+val modulus : t -> Bigint.t
+val element_bytes : t -> int
+(** Fixed serialized size of one element. *)
+
+val reduce : t -> Bigint.t -> Bigint.t
+(** Barrett reduction of any non-negative value < p²; falls back to general
+    division otherwise (and for negative inputs). *)
+
+val add : t -> Bigint.t -> Bigint.t -> Bigint.t
+val sub : t -> Bigint.t -> Bigint.t -> Bigint.t
+val neg : t -> Bigint.t -> Bigint.t
+val mul : t -> Bigint.t -> Bigint.t -> Bigint.t
+val sqr : t -> Bigint.t -> Bigint.t
+val mul_int : t -> Bigint.t -> int -> Bigint.t
+val inv : t -> Bigint.t -> Bigint.t
+(** @raise Division_by_zero on zero. *)
+
+val pow : t -> Bigint.t -> Bigint.t -> Bigint.t
+
+val sqrt : t -> Bigint.t -> Bigint.t option
+(** [Some r] with [r² = a], or [None] if [a] is a non-residue. *)
+
+val cbrt : t -> Bigint.t -> Bigint.t
+(** Unique cube root (cubing is a bijection since p ≡ 2 mod 3). *)
+
+val is_zero : Bigint.t -> bool
+val equal : Bigint.t -> Bigint.t -> bool
+
+val to_bytes : t -> Bigint.t -> string
+(** Fixed-width big-endian. *)
+
+val of_bytes : t -> string -> Bigint.t
+(** @raise Invalid_argument if not canonical (≥ p or wrong width). *)

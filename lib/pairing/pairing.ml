@@ -1,0 +1,107 @@
+module Bigint = Alpenhorn_bigint.Bigint
+module Sha256 = Alpenhorn_crypto.Sha256
+
+(* Evaluate the line through [t] and [u] (tangent if equal) at the distorted
+   point (xq, yq) ∈ F_p², and the vertical line at [t + u]. Returns
+   (l, v, t_plus_u). Uses the fact that on y² = x³ + 1 two distinct affine
+   points never share a y-coordinate (x ↦ x³ is a bijection), so line
+   evaluations at distorted points are never zero. *)
+let line_and_add fp t u ~xq ~yq =
+  match (t, u) with
+  | Curve.Inf, Curve.Inf -> (Fp2.one, Fp2.one, Curve.Inf)
+  | Curve.Inf, Curve.Affine a | Curve.Affine a, Curve.Inf ->
+    (* vertical line through the affine point *)
+    let l = Fp2.sub fp xq (Fp2.of_fp a.x) in
+    ((l, Fp2.one, Curve.add fp t u) : Fp2.el * Fp2.el * Curve.point)
+  | Curve.Affine a, Curve.Affine b ->
+    let tangent = Bigint.equal a.x b.x && Bigint.equal a.y b.y in
+    if Bigint.equal a.x b.x && not tangent then begin
+      (* u = -t: chord is the vertical through t; t+u = O so v ≡ 1 *)
+      (Fp2.sub fp xq (Fp2.of_fp a.x), Fp2.one, Curve.Inf)
+    end
+    else begin
+      let lambda =
+        if tangent then
+          Field.mul fp (Field.mul_int fp (Field.sqr fp a.x) 3) (Field.inv fp (Field.mul_int fp a.y 2))
+        else Field.mul fp (Field.sub fp b.y a.y) (Field.inv fp (Field.sub fp b.x a.x))
+      in
+      let x3 = Field.sub fp (Field.sub fp (Field.sqr fp lambda) a.x) b.x in
+      let y3 = Field.sub fp (Field.mul fp lambda (Field.sub fp a.x x3)) a.y in
+      (* l(Q) = (yq - a.y) - λ(xq - a.x) *)
+      let l =
+        Fp2.sub fp (Fp2.sub fp yq (Fp2.of_fp a.y)) (Fp2.mul_fp fp (Fp2.sub fp xq (Fp2.of_fp a.x)) lambda)
+      in
+      let v = Fp2.sub fp xq (Fp2.of_fp x3) in
+      (l, v, Curve.Affine { x = x3; y = y3 })
+    end
+
+let miller (params : Params.t) p ~xq ~yq =
+  let fp = params.fp in
+  let q = params.q in
+  let num = ref Fp2.one and den = ref Fp2.one in
+  let t = ref p in
+  for i = Bigint.numbits q - 2 downto 0 do
+    let l, v, t2 = line_and_add fp !t !t ~xq ~yq in
+    num := Fp2.mul fp (Fp2.sqr fp !num) l;
+    den := Fp2.mul fp (Fp2.sqr fp !den) v;
+    t := t2;
+    if Bigint.testbit q i then begin
+      let l, v, t2 = line_and_add fp !t p ~xq ~yq in
+      num := Fp2.mul fp !num l;
+      den := Fp2.mul fp !den v;
+      t := t2
+    end
+  done;
+  Fp2.mul fp !num (Fp2.inv fp !den)
+
+let pair (params : Params.t) a b =
+  match (a, b) with
+  | Curve.Inf, _ | _, Curve.Inf -> invalid_arg "Pairing.pair: point at infinity"
+  | Curve.Affine _, Curve.Affine { x = bx; y = by } ->
+    let fp = params.fp in
+    (* distortion map: Q = (ζ·bx, by) ∈ E(F_p²) *)
+    let xq = Fp2.mul_fp fp params.zeta bx in
+    let yq = Fp2.of_fp by in
+    let f = miller params a ~xq ~yq in
+    Fp2.pow fp f params.tate_exp
+
+let gt_bytes (params : Params.t) el = Fp2.to_bytes params.fp el
+
+let hash_to_group (params : Params.t) id =
+  let fp = params.fp in
+  let p = Field.modulus fp in
+  let rec attempt ctr =
+    if ctr > 255 then failwith "Pairing.hash_to_group: exhausted"
+    else begin
+      (* expand the identity to enough bytes for near-uniform y mod p *)
+      let need = Field.element_bytes fp + 16 in
+      let stream =
+        Alpenhorn_crypto.Hmac.hkdf ~info:(Printf.sprintf "alpenhorn-h2g-%d" ctr) ~len:need id
+      in
+      let y = Bigint.rem (Bigint.of_bytes_be stream) p in
+      let y2m1 = Field.sub fp (Field.sqr fp y) Bigint.one in
+      if Field.is_zero y2m1 then attempt (ctr + 1)
+      else begin
+        let x = Field.cbrt fp y2m1 in
+        let pt = Curve.Affine { x; y } in
+        match Curve.mul fp params.cofactor pt with
+        | Curve.Inf -> attempt (ctr + 1)
+        | g -> g
+      end
+    end
+  in
+  attempt 0
+
+let hash_to_scalar (params : Params.t) msg =
+  let rec attempt ctr =
+    if ctr > 255 then failwith "Pairing.hash_to_scalar: exhausted"
+    else begin
+      let need = (Bigint.numbits params.q + 7) / 8 + 16 in
+      let stream =
+        Alpenhorn_crypto.Hmac.hkdf ~info:(Printf.sprintf "alpenhorn-h2s-%d" ctr) ~len:need msg
+      in
+      let v = Bigint.rem (Bigint.of_bytes_be stream) params.q in
+      if Bigint.is_zero v then attempt (ctr + 1) else v
+    end
+  in
+  attempt 0

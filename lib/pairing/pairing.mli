@@ -1,0 +1,29 @@
+(** The modified Tate pairing ê : G1 × G1 → GT ⊂ F_p²*.
+
+    [pair params a b] computes [f_{q,a}(φ(b))^((p²−1)/q)] by Miller's
+    algorithm, where φ is the distortion map [(x, y) ↦ (ζx, y)]. The
+    distortion map makes the pairing symmetric and non-degenerate on G1
+    (ê(g, g) ≠ 1), which is what Boneh-Franklin IBE and BLS signatures
+    need. Bilinearity: ê(aP, bQ) = ê(P, Q)^{ab}.
+
+    Denominators are kept separate during the Miller loop and inverted once
+    at the end (denominator elimination does not apply: the distorted
+    point's x-coordinate is not in F_p). *)
+
+module Bigint = Alpenhorn_bigint.Bigint
+
+val pair : Params.t -> Curve.point -> Curve.point -> Fp2.el
+(** @raise Invalid_argument if either argument is the point at infinity
+    (those never arise in honest protocol runs; ciphertext decoding rejects
+    them earlier). *)
+
+val gt_bytes : Params.t -> Fp2.el -> string
+(** Canonical serialization of a GT element, for hashing. *)
+
+val hash_to_group : Params.t -> string -> Curve.point
+(** Boneh-Franklin admissible encoding: hash the identity string to y,
+    set x = (y² − 1)^(1/3), multiply by the cofactor; retry on degenerate
+    outputs. Never returns the point at infinity. *)
+
+val hash_to_scalar : Params.t -> string -> Bigint.t
+(** Hash to a nonzero scalar in [\[1, q)]. *)

@@ -1,0 +1,131 @@
+module Bigint = Alpenhorn_bigint.Bigint
+module Drbg = Alpenhorn_crypto.Drbg
+
+type t = {
+  fp : Field.t;
+  q : Bigint.t;
+  cofactor : Bigint.t;
+  zeta : Fp2.el;
+  g : Curve.point;
+  tate_exp : Bigint.t;
+}
+
+let is_prime rng n =
+  Bigint.is_probable_prime ~rounds:24 ~rand:(fun ~bits -> Drbg.bigint_bits rng bits) n
+
+let random_prime rng bits =
+  let rec go () =
+    let c = Drbg.bigint_bits rng (bits - 1) in
+    (* force top and bottom bits *)
+    let c = Bigint.add (Bigint.add c c) Bigint.one in
+    let c = Bigint.add c (Bigint.shift_left Bigint.one (bits - 1)) in
+    let c = if Bigint.numbits c > bits then Bigint.sub c (Bigint.shift_left Bigint.one bits) else c in
+    if Bigint.numbits c = bits && is_prime rng c then c else go ()
+  in
+  go ()
+
+(* A primitive cube root of unity in F_p²: t^((p²-1)/3) for random t, retried
+   until it is nontrivial. p ≡ 2 (mod 3) forces it out of F_p. *)
+let find_zeta rng fp =
+  let p = Field.modulus fp in
+  let e = Bigint.div (Bigint.sub (Bigint.mul p p) Bigint.one) (Bigint.of_int 3) in
+  let rec go () =
+    let t = Fp2.make (Drbg.bigint_below rng p) (Drbg.bigint_below rng p) in
+    if Fp2.is_zero t then go ()
+    else begin
+      let z = Fp2.pow fp t e in
+      if Fp2.equal z Fp2.one then go () else z
+    end
+  in
+  go ()
+
+(* A generator of G1: random curve point times the cofactor. *)
+let find_generator rng fp cofactor q =
+  let p = Field.modulus fp in
+  let rec go () =
+    let y = Drbg.bigint_below rng p in
+    let y2m1 = Field.sub fp (Field.sqr fp y) Bigint.one in
+    let x = Field.cbrt fp y2m1 in
+    let pt = Curve.Affine { x; y } in
+    if not (Curve.is_on_curve fp pt) then go ()
+    else begin
+      let g = Curve.mul fp cofactor pt in
+      match g with
+      | Curve.Inf -> go ()
+      | g -> if Curve.equal (Curve.mul fp q g) Curve.Inf then g else go ()
+    end
+  in
+  go ()
+
+let build q l =
+  let twelve_l = Bigint.mul_int l 12 in
+  let p = Bigint.sub (Bigint.mul twelve_l q) Bigint.one in
+  let fp = Field.create p in
+  let rng = Drbg.create ~seed:("alpenhorn-params" ^ Bigint.to_string p) in
+  let zeta = find_zeta rng fp in
+  let g = find_generator rng fp twelve_l q in
+  {
+    fp;
+    q;
+    cofactor = twelve_l;
+    zeta;
+    g;
+    tate_exp = Bigint.div (Bigint.sub (Bigint.mul p p) Bigint.one) q;
+  }
+
+let generate rng ~qbits =
+  let q = random_prime rng qbits in
+  (* find l making p = 12·l·q - 1 prime *)
+  let rec find_l l =
+    let p = Bigint.sub (Bigint.mul_int (Bigint.mul l q) 12) Bigint.one in
+    if is_prime rng p then l else find_l (Bigint.add l Bigint.one)
+  in
+  let l = find_l (Bigint.add (Drbg.bigint_bits rng 8) Bigint.one) in
+  build q l
+
+let validate t =
+  let p = Field.modulus t.fp in
+  let check name cond = if not cond then failwith ("Params.validate: " ^ name) in
+  let rng = Drbg.create ~seed:"params-validate" in
+  check "p prime" (is_prime rng p);
+  check "q prime" (is_prime rng t.q);
+  check "p = cofactor*q - 1" (Bigint.equal (Bigint.add p Bigint.one) (Bigint.mul t.cofactor t.q));
+  check "cofactor divisible by 12" (Bigint.is_zero (Bigint.rem t.cofactor (Bigint.of_int 12)));
+  check "zeta nontrivial" (not (Fp2.equal t.zeta Fp2.one));
+  check "zeta^3 = 1" (Fp2.equal (Fp2.mul t.fp t.zeta (Fp2.sqr t.fp t.zeta)) Fp2.one);
+  check "zeta not in F_p" (not (Fp2.in_base_field t.zeta));
+  check "g on curve" (Curve.is_on_curve t.fp t.g);
+  check "g not infinity" (not (Curve.equal t.g Curve.Inf));
+  check "g has order q" (Curve.equal (Curve.mul t.fp t.q t.g) Curve.Inf);
+  check "tate_exp * q = p^2 - 1"
+    (Bigint.equal (Bigint.mul t.tate_exp t.q) (Bigint.sub (Bigint.mul p p) Bigint.one))
+
+(* Pregenerated sets: (q, l) pairs found with [generate] (see
+   devtools/genparams). [build] reconstructs everything else
+   deterministically; [validate] re-checks the invariants. *)
+
+let memo f =
+  let cell = ref None in
+  fun () ->
+    match !cell with
+    | Some v -> v
+    | None ->
+      let v = f () in
+      validate v;
+      cell := Some v;
+      v
+
+let test =
+  memo (fun () ->
+      build (Bigint.of_string "0x89ee8ad67fad84a5") (Bigint.of_string "0xe2"))
+
+let production =
+  memo (fun () ->
+      build
+        (Bigint.of_string "0x1249899b522a9407586a8c886a0059b4e241d85783d81f7be0d60d009")
+        (Bigint.of_string "0x1b6"))
+
+let of_named = function
+  | "test" -> test ()
+  | "production" -> production ()
+  | s -> invalid_arg ("Params.of_named: " ^ s)

@@ -1,0 +1,37 @@
+(** Pairing parameter sets (Boneh-Franklin style).
+
+    A parameter set fixes a prime group order [q], a field prime
+    [p = 12·l·q − 1] (hence [p ≡ 11 (mod 12)]), the curve
+    [E : y² = x³ + 1 / F_p], a generator [g] of the order-q subgroup G1,
+    a primitive cube root of unity [ζ ∈ F_p² \ F_p] for the distortion map
+    [φ(x,y) = (ζx, y)], and the reduced-Tate final exponent [(p² − 1)/q].
+
+    [production] targets the paper's ballpark (BN-256 had a 256-bit group
+    order); [test] is small and fast for unit tests. Both are pregenerated
+    and revalidated on first use. *)
+
+module Bigint = Alpenhorn_bigint.Bigint
+
+type t = {
+  fp : Field.t;
+  q : Bigint.t; (* prime order of G1 *)
+  cofactor : Bigint.t; (* 12·l, with p + 1 = 12·l·q *)
+  zeta : Fp2.el; (* primitive cube root of unity, distortion map *)
+  g : Curve.point; (* generator of G1 *)
+  tate_exp : Bigint.t; (* (p² − 1) / q *)
+}
+
+val generate : Alpenhorn_crypto.Drbg.t -> qbits:int -> t
+(** Generate a fresh parameter set with a [qbits]-bit prime group order. *)
+
+val validate : t -> unit
+(** Check all structural invariants. @raise Failure on any violation. *)
+
+val test : unit -> t
+(** Small (64-bit q) parameters for fast tests. Memoized. *)
+
+val production : unit -> t
+(** Full-size (225-bit q, ~260-bit p) parameters. Memoized. *)
+
+val of_named : string -> t
+(** ["test"] or ["production"]. @raise Invalid_argument otherwise. *)

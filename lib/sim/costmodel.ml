@@ -1,0 +1,205 @@
+module Params = Alpenhorn_pairing.Params
+module Wire = Alpenhorn_core.Wire
+module Mailbox = Alpenhorn_mixnet.Mailbox
+module Onion = Alpenhorn_mixnet.Onion
+module Payload = Alpenhorn_mixnet.Payload
+module Ibe = Alpenhorn_ibe.Ibe
+module Dh = Alpenhorn_dh.Dh
+module Keywheel = Alpenhorn_keywheel.Keywheel
+module Drbg = Alpenhorn_crypto.Drbg
+
+type machine = {
+  cores : int;
+  client_cores : int;
+  t_unwrap : float;
+  t_ibe_decrypt : float;
+  t_ibe_encrypt : float;
+  t_token : float;
+  link_bandwidth : float;
+  client_bandwidth : float;
+  rtt : float;
+}
+
+(* c4.8xlarge constants; t_unwrap fitted so that the 10M-user 3-server
+   points land on the paper's 152 s (add-friend) and 118 s (dialing). *)
+let paper_machine =
+  {
+    cores = 36;
+    client_cores = 4;
+    t_unwrap = 140e-6;
+    t_ibe_decrypt = 1.0 /. 800.0;
+    t_ibe_encrypt = 1.0 /. 800.0;
+    t_token = 1e-6;
+    link_bandwidth = 10e9 /. 8.0;
+    client_bandwidth = 1e9 /. 8.0;
+    rtt = 0.08;
+  }
+
+let time_per_op f reps =
+  (* warm up once, then time *)
+  ignore (f ());
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    ignore (f ())
+  done;
+  (Unix.gettimeofday () -. t0) /. float_of_int reps
+
+let measure_local (params : Params.t) =
+  let rng = Drbg.create ~seed:"costmodel-measure" in
+  let msk, mpk = Ibe.setup params rng in
+  let d_id = Ibe.extract params msk "probe@local" in
+  let ctxt = Ibe.encrypt params rng mpk ~id:"probe@local" (String.make 64 'x') in
+  let t_ibe_decrypt = time_per_op (fun () -> Ibe.decrypt params d_id ctxt) 5 in
+  let t_ibe_encrypt =
+    time_per_op (fun () -> Ibe.encrypt params rng mpk ~id:"probe@local" (String.make 64 'x')) 5
+  in
+  let ssk, spk = Dh.keygen params rng in
+  let onion = Onion.wrap params rng ~server_pks:[ spk ] (String.make 64 'y') in
+  let t_unwrap = time_per_op (fun () -> Onion.unwrap params ~sk:ssk onion) 10 in
+  let t_token =
+    time_per_op (fun () -> Alpenhorn_crypto.Hmac.hmac_sha256 ~key:(String.make 32 'k') "tok") 1000
+  in
+  {
+    cores = 1;
+    client_cores = 1;
+    t_unwrap;
+    t_ibe_decrypt;
+    t_ibe_encrypt;
+    t_token;
+    link_bandwidth = 10e9 /. 8.0;
+    client_bandwidth = 1e9 /. 8.0;
+    rtt = 0.08;
+  }
+
+type protocol_costs = {
+  request_bytes : int;
+  dial_token_bytes : int;
+  bloom_bits_per_token : int;
+  onion_layer_bytes : int;
+  payload_header_bytes : int;
+}
+
+let protocol_costs (params : Params.t) =
+  {
+    request_bytes = Wire.request_ciphertext_size params;
+    dial_token_bytes = Wire.dial_token_size;
+    bloom_bits_per_token = Alpenhorn_bloom.Bloom.bits_per_element;
+    onion_layer_bytes = Onion.layer_overhead params;
+    payload_header_bytes = Payload.overhead;
+  }
+
+type round_breakdown = {
+  server_seconds : float array;
+  download_seconds : float;
+  scan_seconds : float;
+  total_seconds : float;
+  mailbox_bytes : int;
+  uplink_bytes : int;
+}
+
+(* Shared pipeline skeleton: each server unwraps the batch it receives,
+   generates its noise, and ships the grown batch to the next hop. *)
+let pipeline m ~n_servers ~batch0 ~noise_per_server ~t_noise ~body_bytes ~pc =
+  let server_seconds = Array.make n_servers 0.0 in
+  let batch = ref (float_of_int batch0) in
+  for i = 0 to n_servers - 1 do
+    let unwrap = !batch *. m.t_unwrap /. float_of_int m.cores in
+    let noise_gen = noise_per_server *. t_noise /. float_of_int m.cores in
+    batch := !batch +. noise_per_server;
+    (* bytes on the wire to the next hop: remaining onion layers shrink, so
+       approximate with the body + residual layers *)
+    let layers_left = n_servers - 1 - i in
+    let msg_bytes =
+      float_of_int (body_bytes + pc.payload_header_bytes + (layers_left * pc.onion_layer_bytes))
+    in
+    let transfer = !batch *. msg_bytes /. m.link_bandwidth in
+    server_seconds.(i) <- unwrap +. noise_gen +. transfer +. m.rtt
+  done;
+  (server_seconds, !batch)
+
+let addfriend_round m pc ~n_users ~n_servers ~noise_mu ~active_fraction ?mailbox_requests () =
+  let active = int_of_float (Float.round (float_of_int n_users *. active_fraction)) in
+  let k = Mailbox.num_mailboxes_for ~expected_real:active ~noise_mu ~chain_length:n_servers in
+  let noise_per_server = noise_mu *. float_of_int k in
+  let server_seconds, _ =
+    pipeline m ~n_servers ~batch0:n_users ~noise_per_server ~t_noise:m.t_ibe_encrypt
+      ~body_bytes:pc.request_bytes ~pc
+  in
+  let requests_in_mailbox =
+    match mailbox_requests with
+    | Some r -> r
+    | None ->
+      int_of_float
+        (Float.round ((float_of_int active /. float_of_int k) +. (noise_mu *. float_of_int n_servers)))
+  in
+  let mailbox_bytes = requests_in_mailbox * pc.request_bytes in
+  let download_seconds = float_of_int mailbox_bytes /. m.client_bandwidth in
+  let scan_seconds =
+    float_of_int requests_in_mailbox *. m.t_ibe_decrypt /. float_of_int m.client_cores
+  in
+  let uplink_bytes =
+    pc.request_bytes + pc.payload_header_bytes + (n_servers * pc.onion_layer_bytes)
+  in
+  {
+    server_seconds;
+    download_seconds;
+    scan_seconds;
+    total_seconds = Array.fold_left ( +. ) 0.0 server_seconds +. download_seconds +. scan_seconds;
+    mailbox_bytes;
+    uplink_bytes;
+  }
+
+let dialing_round m pc ~n_users ~n_servers ~noise_mu ~active_fraction ~friends ~intents
+    ?mailbox_tokens () =
+  let active = int_of_float (Float.round (float_of_int n_users *. active_fraction)) in
+  let k = Mailbox.num_mailboxes_for ~expected_real:active ~noise_mu ~chain_length:n_servers in
+  let noise_per_server = noise_mu *. float_of_int k in
+  let server_seconds, _ =
+    pipeline m ~n_servers ~batch0:n_users ~noise_per_server ~t_noise:m.t_token
+      ~body_bytes:pc.dial_token_bytes ~pc
+  in
+  let tokens_in_mailbox =
+    match mailbox_tokens with
+    | Some t -> t
+    | None ->
+      int_of_float
+        (Float.round ((float_of_int active /. float_of_int k) +. (noise_mu *. float_of_int n_servers)))
+  in
+  let mailbox_bytes = tokens_in_mailbox * pc.bloom_bits_per_token / 8 in
+  let download_seconds = float_of_int mailbox_bytes /. m.client_bandwidth in
+  let scan_seconds = float_of_int (friends * intents) *. m.t_token /. float_of_int m.client_cores in
+  let uplink_bytes =
+    pc.dial_token_bytes + pc.payload_header_bytes + (n_servers * pc.onion_layer_bytes)
+  in
+  {
+    server_seconds;
+    download_seconds;
+    scan_seconds;
+    total_seconds = Array.fold_left ( +. ) 0.0 server_seconds +. download_seconds +. scan_seconds;
+    mailbox_bytes;
+    uplink_bytes;
+  }
+
+let addfriend_bandwidth pc ~n_users ~n_servers ~noise_mu ~active_fraction ~round_seconds =
+  let active = int_of_float (Float.round (float_of_int n_users *. active_fraction)) in
+  let k = Mailbox.num_mailboxes_for ~expected_real:active ~noise_mu ~chain_length:n_servers in
+  let per_mailbox =
+    (float_of_int active /. float_of_int k) +. (noise_mu *. float_of_int n_servers)
+  in
+  let download = per_mailbox *. float_of_int pc.request_bytes in
+  let uplink =
+    float_of_int (pc.request_bytes + pc.payload_header_bytes + (n_servers * pc.onion_layer_bytes))
+  in
+  (download +. uplink) /. round_seconds
+
+let dialing_bandwidth pc ~n_users ~n_servers ~noise_mu ~active_fraction ~round_seconds =
+  let active = int_of_float (Float.round (float_of_int n_users *. active_fraction)) in
+  let k = Mailbox.num_mailboxes_for ~expected_real:active ~noise_mu ~chain_length:n_servers in
+  let per_mailbox =
+    (float_of_int active /. float_of_int k) +. (noise_mu *. float_of_int n_servers)
+  in
+  let download = per_mailbox *. float_of_int pc.bloom_bits_per_token /. 8.0 in
+  let uplink =
+    float_of_int (pc.dial_token_bytes + pc.payload_header_bytes + (n_servers * pc.onion_layer_bytes))
+  in
+  (download +. uplink) /. round_seconds

@@ -1,0 +1,73 @@
+(* Binary min-heap on (time, seq) so simultaneous events run in scheduling
+   order — determinism matters more than raw speed here. *)
+
+type event = { time : float; seq : int; thunk : unit -> unit }
+
+type t = { mutable heap : event array; mutable n : int; mutable clock : float; mutable next_seq : int }
+
+let dummy = { time = 0.0; seq = 0; thunk = ignore }
+
+let create () = { heap = Array.make 64 dummy; n = 0; clock = 0.0; next_seq = 0 }
+
+let now t = t.clock
+let pending t = t.n
+
+let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap h i j =
+  let tmp = h.(i) in
+  h.(i) <- h.(j);
+  h.(j) <- tmp
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if earlier h.(i) h.(parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h n i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < n && earlier h.(l) h.(!smallest) then smallest := l;
+  if r < n && earlier h.(r) h.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h n !smallest
+  end
+
+let schedule t ~at thunk =
+  if at < t.clock then invalid_arg "Des.schedule: time in the past";
+  if t.n = Array.length t.heap then begin
+    let bigger = Array.make (2 * t.n) dummy in
+    Array.blit t.heap 0 bigger 0 t.n;
+    t.heap <- bigger
+  end;
+  t.heap.(t.n) <- { time = at; seq = t.next_seq; thunk };
+  t.next_seq <- t.next_seq + 1;
+  t.n <- t.n + 1;
+  sift_up t.heap (t.n - 1)
+
+let after t ~delay thunk =
+  if delay < 0.0 then invalid_arg "Des.after: negative delay";
+  schedule t ~at:(t.clock +. delay) thunk
+
+let step t =
+  if t.n = 0 then false
+  else begin
+    let ev = t.heap.(0) in
+    t.n <- t.n - 1;
+    t.heap.(0) <- t.heap.(t.n);
+    t.heap.(t.n) <- dummy;
+    sift_down t.heap t.n 0;
+    t.clock <- ev.time;
+    ev.thunk ();
+    true
+  end
+
+let run t =
+  while step t do
+    ()
+  done

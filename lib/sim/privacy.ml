@@ -1,0 +1,46 @@
+let epsilon_single ~sensitivity ~b =
+  if b <= 0.0 then invalid_arg "Privacy.epsilon_single: b";
+  sensitivity /. b
+
+let compose_basic ~epsilon0 ~k = float_of_int k *. epsilon0
+
+let compose_advanced ~epsilon0 ~k ~delta =
+  if delta <= 0.0 || delta >= 1.0 then invalid_arg "Privacy.compose_advanced: delta";
+  let kf = float_of_int k in
+  (sqrt (2.0 *. kf *. log (1.0 /. delta)) *. epsilon0)
+  +. (kf *. epsilon0 *. (exp epsilon0 -. 1.0))
+
+let max_actions ~epsilon0 ~delta ~budget =
+  (* monotone in k: binary search *)
+  let fits k = k = 0 || compose_advanced ~epsilon0 ~k ~delta <= budget in
+  if not (fits 1) then 0
+  else begin
+    let hi = ref 1 in
+    while fits (2 * !hi) do
+      hi := 2 * !hi
+    done;
+    let lo = ref !hi and hi = ref (2 * !hi) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if fits mid then lo := mid else hi := mid
+    done;
+    !lo
+  end
+
+type protocol_budget = {
+  b : float;
+  sensitivity : float;
+  actions : int;
+  epsilon_total : float;
+  delta : float;
+}
+
+let paper_addfriend =
+  { b = 406.0; sensitivity = 1.0; actions = 900; epsilon_total = log 2.0; delta = 1e-4 }
+
+let paper_dialing =
+  { b = 2183.0; sensitivity = 1.0; actions = 26_000; epsilon_total = log 2.0; delta = 1e-4 }
+
+let verify pb =
+  let epsilon0 = epsilon_single ~sensitivity:pb.sensitivity ~b:pb.b in
+  compose_advanced ~epsilon0 ~k:pb.actions ~delta:pb.delta <= pb.epsilon_total

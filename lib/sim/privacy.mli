@@ -1,0 +1,47 @@
+(** Differential-privacy accounting for the mixnet noise (paper §6, §8.1).
+
+    Alpenhorn inherits Vuvuzela's privacy argument: each honest mixnet
+    server adds Laplace(µ, b) noise messages per mailbox, so the observable
+    mailbox counts are a Laplace mechanism over the user's actions. One
+    protected action (sending vs not sending a request) changes the counts
+    by a bounded sensitivity, giving a per-round ε₀ = sensitivity / b; a
+    lifetime of k protected actions composes.
+
+    The paper's configuration (§8.1): b = 406 for add-friend and b = 2183
+    for dialing, each yielding (ε = ln 2, δ = 10⁻⁴)-differential privacy
+    for 900 add-friend requests and 26,000 calls respectively. This module
+    reproduces those numbers via the strong (advanced) composition theorem
+    and answers the inverse question: how many actions fit a target
+    budget. *)
+
+val epsilon_single : sensitivity:float -> b:float -> float
+(** Per-action ε of the Laplace mechanism: [sensitivity / b]. *)
+
+val compose_basic : epsilon0:float -> k:int -> float
+(** Sequential composition: ε = k·ε₀ (δ unchanged). *)
+
+val compose_advanced : epsilon0:float -> k:int -> delta:float -> float
+(** Strong composition (Dwork-Rothblum-Vadhan): the total ε over k
+    ε₀-private actions, paying [delta]:
+    [ε = sqrt(2k ln(1/δ))·ε₀ + k·ε₀·(e^ε₀ − 1)]. *)
+
+val max_actions : epsilon0:float -> delta:float -> budget:float -> int
+(** Largest k such that [compose_advanced ~epsilon0 ~k ~delta <= budget]. *)
+
+type protocol_budget = {
+  b : float;  (** Laplace scale *)
+  sensitivity : float;
+  actions : int;  (** protected actions claimed by the paper *)
+  epsilon_total : float;  (** at δ below *)
+  delta : float;
+}
+
+val paper_addfriend : protocol_budget
+(** b = 406, 900 requests at (ln 2, 10⁻⁴) — §8.1. *)
+
+val paper_dialing : protocol_budget
+(** b = 2183, 26,000 calls at (ln 2, 10⁻⁴) — §8.1 ("7 calls per day for 10
+    years"). *)
+
+val verify : protocol_budget -> bool
+(** Does the advanced-composition bound stay within the claimed budget? *)

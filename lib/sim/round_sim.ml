@@ -1,0 +1,87 @@
+module Mailbox = Alpenhorn_mixnet.Mailbox
+
+type timeline = { server_done : float array; publish : float; client_done : float }
+
+(* One round: [batch0] messages enter server 0 at t = 0 in [chunks] equal
+   parts. Each server has a single processing pipeline (it works on one
+   chunk at a time, in arrival order) and forwards each finished chunk
+   after a link delay. Noise generation happens once per server, amortized
+   into its first chunk. The last server publishes when its final chunk is
+   done; the client then downloads and scans. *)
+let replay (m : Costmodel.machine) ~n_servers ~batch0 ~noise_per_server ~t_noise ~msg_bytes
+    ~mailbox_bytes ~scan_seconds ~chunks =
+  if chunks < 1 then invalid_arg "Round_sim: chunks";
+  let des = Des.create () in
+  let server_done = Array.make n_servers 0.0 in
+  let publish = ref 0.0 and client_done = ref 0.0 in
+  (* per-server: when its pipeline becomes free *)
+  let free_at = Array.make n_servers 0.0 in
+  let chunks_seen = Array.make n_servers 0 in
+  (* messages per chunk grows along the chain as servers add noise *)
+  let rec deliver server chunk_msgs chunk_index =
+    let proc_seconds =
+      (chunk_msgs *. m.Costmodel.t_unwrap /. float_of_int m.Costmodel.cores)
+      +.
+      (* amortize this server's noise generation into its first chunk *)
+      (if chunks_seen.(server) = 0 then
+         noise_per_server *. t_noise /. float_of_int m.Costmodel.cores
+       else 0.0)
+    in
+    chunks_seen.(server) <- chunks_seen.(server) + 1;
+    let start = Stdlib.max (Des.now des) free_at.(server) in
+    let finish = start +. proc_seconds in
+    free_at.(server) <- finish;
+    server_done.(server) <- finish;
+    let out_msgs = chunk_msgs +. (noise_per_server /. float_of_int chunks) in
+    let transfer = out_msgs *. msg_bytes /. m.Costmodel.link_bandwidth in
+    let arrival = finish +. transfer +. (m.Costmodel.rtt /. 2.0) in
+    if server + 1 < n_servers then
+      Des.schedule des ~at:arrival (fun () -> deliver (server + 1) out_msgs chunk_index)
+    else begin
+      (* last server: chunk lands in the mailboxes; publish after the final
+         chunk, then the client downloads and scans *)
+      Des.schedule des ~at:arrival (fun () ->
+          if chunk_index = chunks - 1 then begin
+            publish := Des.now des;
+            let download = mailbox_bytes /. m.Costmodel.client_bandwidth in
+            Des.after des ~delay:(download +. scan_seconds) (fun () ->
+                client_done := Des.now des)
+          end)
+    end
+  in
+  let per_chunk = float_of_int batch0 /. float_of_int chunks in
+  for i = 0 to chunks - 1 do
+    Des.schedule des ~at:0.0 (fun () -> deliver 0 per_chunk i)
+  done;
+  Des.run des;
+  { server_done; publish = !publish; client_done = !client_done }
+
+let addfriend m (pc : Costmodel.protocol_costs) ~n_users ~n_servers ~noise_mu ~active_fraction
+    ~chunks =
+  let active = int_of_float (Float.round (float_of_int n_users *. active_fraction)) in
+  let k = Mailbox.num_mailboxes_for ~expected_real:active ~noise_mu ~chain_length:n_servers in
+  let requests_in_mailbox =
+    (float_of_int active /. float_of_int k) +. (noise_mu *. float_of_int n_servers)
+  in
+  replay m ~n_servers ~batch0:n_users ~noise_per_server:(noise_mu *. float_of_int k)
+    ~t_noise:m.Costmodel.t_ibe_encrypt
+    ~msg_bytes:(float_of_int (pc.Costmodel.request_bytes + pc.Costmodel.payload_header_bytes))
+    ~mailbox_bytes:(requests_in_mailbox *. float_of_int pc.Costmodel.request_bytes)
+    ~scan_seconds:
+      (requests_in_mailbox *. m.Costmodel.t_ibe_decrypt /. float_of_int m.Costmodel.client_cores)
+    ~chunks
+
+let dialing m (pc : Costmodel.protocol_costs) ~n_users ~n_servers ~noise_mu ~active_fraction
+    ~friends ~intents ~chunks =
+  let active = int_of_float (Float.round (float_of_int n_users *. active_fraction)) in
+  let k = Mailbox.num_mailboxes_for ~expected_real:active ~noise_mu ~chain_length:n_servers in
+  let tokens_in_mailbox =
+    (float_of_int active /. float_of_int k) +. (noise_mu *. float_of_int n_servers)
+  in
+  replay m ~n_servers ~batch0:n_users ~noise_per_server:(noise_mu *. float_of_int k)
+    ~t_noise:m.Costmodel.t_token
+    ~msg_bytes:(float_of_int (pc.Costmodel.dial_token_bytes + pc.Costmodel.payload_header_bytes))
+    ~mailbox_bytes:(tokens_in_mailbox *. float_of_int pc.Costmodel.bloom_bits_per_token /. 8.0)
+    ~scan_seconds:
+      (float_of_int (friends * intents) *. m.Costmodel.t_token /. float_of_int m.Costmodel.client_cores)
+    ~chunks

@@ -1,0 +1,46 @@
+(** Message-granularity round replay on the {!Des} engine.
+
+    The analytic {!Costmodel} prices a round as a sum of stages, which
+    assumes each mixnet server finishes its whole batch before the next
+    hop starts — the paper's store-and-forward design. This module replays
+    the same round as discrete events, with the batch optionally split into
+    [chunks] that flow through the chain independently:
+
+    - [chunks = 1] reproduces store-and-forward; its total must agree with
+      {!Costmodel} (cross-validated in the tests), which is what licenses
+      the cheaper analytic model for the figures;
+    - [chunks > 1] models a streaming mixnet in which a server forwards
+      each chunk as soon as it is processed — an ablation the paper's
+      design leaves on the table (at some privacy cost: early chunks leak
+      arrival-order information, so a deployment would still batch per
+      round; the experiment quantifies the latency price of that
+      batching). *)
+
+type timeline = {
+  server_done : float array;  (** when each server finished its last chunk *)
+  publish : float;  (** mailboxes available *)
+  client_done : float;  (** download + scan complete *)
+}
+
+val addfriend :
+  Costmodel.machine ->
+  Costmodel.protocol_costs ->
+  n_users:int ->
+  n_servers:int ->
+  noise_mu:float ->
+  active_fraction:float ->
+  chunks:int ->
+  timeline
+(** Replay one add-friend round. *)
+
+val dialing :
+  Costmodel.machine ->
+  Costmodel.protocol_costs ->
+  n_users:int ->
+  n_servers:int ->
+  noise_mu:float ->
+  active_fraction:float ->
+  friends:int ->
+  intents:int ->
+  chunks:int ->
+  timeline

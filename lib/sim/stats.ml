@@ -1,0 +1,53 @@
+let check xs = if Array.length xs = 0 then invalid_arg "Stats: empty"
+
+let min xs = check xs; Array.fold_left Stdlib.min xs.(0) xs
+let max xs = check xs; Array.fold_left Stdlib.max xs.(0) xs
+let mean xs = check xs; Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let percentile xs p =
+  check xs;
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.of_int (int_of_float rank) |> Float.min (float_of_int (n - 2))) in
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(lo + 1) -. sorted.(lo)))
+  end
+
+let median xs = percentile xs 50.0
+
+let weighted_percentile pairs p =
+  if Array.length pairs = 0 then invalid_arg "Stats.weighted_percentile: empty";
+  let sorted = Array.copy pairs in
+  Array.sort (fun (a, _) (b, _) -> compare a b) sorted;
+  let total = Array.fold_left (fun acc (_, w) -> acc +. w) 0.0 sorted in
+  let target = p /. 100.0 *. total in
+  let acc = ref 0.0 and result = ref (fst sorted.(Array.length sorted - 1)) in
+  (try
+     Array.iter
+       (fun (v, w) ->
+         acc := !acc +. w;
+         if !acc >= target then begin
+           result := v;
+           raise Exit
+         end)
+       sorted
+   with Exit -> ());
+  !result
+
+let histogram xs ~buckets =
+  check xs;
+  if buckets < 1 then invalid_arg "Stats.histogram";
+  let lo = min xs and hi = max xs in
+  let width = if hi > lo then (hi -. lo) /. float_of_int buckets else 1.0 in
+  let counts = Array.make buckets 0 in
+  Array.iter
+    (fun x ->
+      let b = Stdlib.min (buckets - 1) (int_of_float ((x -. lo) /. width)) in
+      counts.(b) <- counts.(b) + 1)
+    xs;
+  Array.mapi (fun i c -> (lo +. (float_of_int i *. width), c)) counts

@@ -1,0 +1,15 @@
+(** Small descriptive-statistics helpers for the evaluation harness. *)
+
+val min : float array -> float
+val max : float array -> float
+val mean : float array -> float
+val median : float array -> float
+val percentile : float array -> float -> float
+(** [percentile xs p] with p in [0, 100], linear interpolation.
+    @raise Invalid_argument on an empty array. *)
+
+val weighted_percentile : (float * float) array -> float -> float
+(** [(value, weight)] pairs; percentile of the weighted distribution. *)
+
+val histogram : float array -> buckets:int -> (float * int) array
+(** (bucket lower bound, count) pairs over the data range. *)

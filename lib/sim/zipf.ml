@@ -1,0 +1,34 @@
+module Drbg = Alpenhorn_crypto.Drbg
+
+type t = { cdf : float array (* cdf.(i) = P(rank <= i+1) *) }
+
+let create ~n ~s =
+  if n < 1 then invalid_arg "Zipf.create";
+  let w = Array.init n (fun i -> (float_of_int (i + 1)) ** -.s) in
+  let total = Array.fold_left ( +. ) 0.0 w in
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      acc := !acc +. (x /. total);
+      cdf.(i) <- !acc)
+    w;
+  cdf.(n - 1) <- 1.0;
+  { cdf }
+
+let sample t rng =
+  let u = Drbg.float rng in
+  (* first index with cdf >= u *)
+  let lo = ref 0 and hi = ref (Array.length t.cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  !lo + 1
+
+let pmf t i =
+  if i < 1 || i > Array.length t.cdf then invalid_arg "Zipf.pmf";
+  if i = 1 then t.cdf.(0) else t.cdf.(i - 1) -. t.cdf.(i - 2)
+
+let top_share t k =
+  if k < 1 then 0.0 else t.cdf.(Stdlib.min k (Array.length t.cdf) - 1)

@@ -1,0 +1,16 @@
+(** Zipf-distributed sampling over ranks 1..n (paper §8.4): the probability
+    of picking rank i is proportional to [i^-s]. [s = 0] degenerates to the
+    uniform distribution. *)
+
+type t
+
+val create : n:int -> s:float -> t
+(** Precomputes the CDF; O(n) memory. *)
+
+val sample : t -> Alpenhorn_crypto.Drbg.t -> int
+(** A rank in [1, n]. O(log n) per draw. *)
+
+val pmf : t -> int -> float
+val top_share : t -> int -> float
+(** Fraction of mass on the top [k] ranks (the paper quotes: at s = 2 the
+    top 10 of 1M users receive 94.2%). *)

@@ -1,0 +1,84 @@
+module Hmac = Alpenhorn_crypto.Hmac
+module Aead = Alpenhorn_crypto.Aead
+module Util = Alpenhorn_crypto.Util
+
+let message_size = 240
+
+type server = {
+  (* dead-drop id -> slot deposits for the current round *)
+  pending : (string, (int * string) list) Hashtbl.t;
+  mutable delivered : (string, (int * string) list) Hashtbl.t;
+}
+
+let create_server () = { pending = Hashtbl.create 64; delivered = Hashtbl.create 64 }
+
+type conversation = {
+  session_key : string;
+  slot : int; (* 0 = caller, 1 = callee *)
+  mutable round_num : int;
+  mutable deposited : bool;
+}
+
+let start ~session_key ~role =
+  if String.length session_key <> 32 then invalid_arg "Vuvuzela.start: session key must be 32 bytes";
+  { session_key; slot = (match role with `Caller -> 0 | `Callee -> 1); round_num = 0; deposited = false }
+
+let round c = c.round_num
+
+let dead_drop c = Hmac.hmac_sha256 ~key:c.session_key ("dead-drop" ^ Util.be32 c.round_num)
+
+let msg_key c = Hmac.hmac_sha256 ~key:c.session_key ("msg-key" ^ Util.be32 c.round_num)
+
+let nonce_of slot = String.make 11 '\000' ^ String.make 1 (Char.chr slot)
+
+(* 1 length byte + payload padded to message_size, then AEAD *)
+let encode_plain msg =
+  let m = match msg with None -> "" | Some m -> m in
+  if String.length m > message_size then invalid_arg "Vuvuzela.deposit: message too long";
+  String.make 1 (Char.chr (String.length m land 0xff))
+  ^ String.make 1 (Char.chr (String.length m lsr 8))
+  ^ m
+  ^ String.make (message_size - String.length m) '\000'
+
+let decode_plain p =
+  let n = Char.code p.[0] lor (Char.code p.[1] lsl 8) in
+  if n = 0 then None else Some (String.sub p 2 n)
+
+let deposit c server msg =
+  if c.deposited then invalid_arg "Vuvuzela.deposit: already deposited this round";
+  let boxed = Aead.seal ~key:(msg_key c) ~nonce:(nonce_of c.slot) (encode_plain msg) in
+  let dd = dead_drop c in
+  let existing = Option.value ~default:[] (Hashtbl.find_opt server.pending dd) in
+  Hashtbl.replace server.pending dd ((c.slot, boxed) :: existing);
+  c.deposited <- true
+
+let exchange server =
+  (* swap: each deposit becomes retrievable by the opposite slot *)
+  let swapped = Hashtbl.create (Hashtbl.length server.pending) in
+  Hashtbl.iter
+    (fun dd deposits ->
+      let flipped = List.map (fun (slot, boxed) -> (1 - slot, boxed)) deposits in
+      Hashtbl.replace swapped dd flipped)
+    server.pending;
+  Hashtbl.reset server.pending;
+  server.delivered <- swapped
+
+let retrieve c server =
+  let dd = dead_drop c in
+  let mine =
+    match Hashtbl.find_opt server.delivered dd with
+    | None -> None
+    | Some deposits -> List.assoc_opt c.slot deposits
+  in
+  let result =
+    match mine with
+    | None -> None
+    | Some boxed ->
+      (* peer encrypted with their slot's nonce *)
+      (match Aead.open_ ~key:(msg_key c) ~nonce:(nonce_of (1 - c.slot)) boxed with
+       | None -> None
+       | Some plain -> Some (decode_plain plain))
+  in
+  c.round_num <- c.round_num + 1;
+  c.deposited <- false;
+  result

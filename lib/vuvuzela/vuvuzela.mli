@@ -1,0 +1,44 @@
+(** A miniature Vuvuzela-style conversation layer (paper §8.5).
+
+    Alpenhorn is purely a bootstrapping protocol; the conversation happens
+    in a system like Vuvuzela. This module is the integration target: a
+    dead-drop message exchange keyed entirely by the session key that
+    Alpenhorn's [Call] hands to the application — the ~200-line surface the
+    paper describes for the Vuvuzela port.
+
+    Per conversation round, each peer derives the same dead-drop id from
+    the shared session key and deposits one fixed-size encrypted message;
+    the (untrusted) server swaps the contents of matching dead drops. A
+    peer with nothing to say deposits padding, so conversation traffic is
+    constant-rate. *)
+
+type server
+(** The untrusted dead-drop exchange. *)
+
+val create_server : unit -> server
+
+type conversation
+(** One endpoint's state: session key + round counter. *)
+
+val start : session_key:string -> role:[ `Caller | `Callee ] -> conversation
+(** Both sides call this with the same Alpenhorn session key; [role] breaks
+    the tie of which deposit slot each side reads. *)
+
+val message_size : int
+(** Fixed plaintext capacity per round (240 bytes; longer messages must be
+    split by the application). *)
+
+val round : conversation -> int
+
+val deposit : conversation -> server -> string option -> unit
+(** Queue this round's message ([None] deposits padding).
+    @raise Invalid_argument if the message exceeds {!message_size} or we
+    already deposited this round. *)
+
+val exchange : server -> unit
+(** End the round on the server: swap matching dead drops. *)
+
+val retrieve : conversation -> server -> string option option
+(** Collect the peer's message for the round just exchanged and advance to
+    the next round. [None]: nothing arrived (peer offline). [Some None]:
+    peer deposited padding. [Some (Some m)]: a real message. *)

@@ -1,0 +1,28 @@
+(* Aggregated test runner: one suite per library plus integration. *)
+
+let () =
+  Alcotest.run "alpenhorn"
+    [
+      ("bigint", Test_bigint.suite);
+      ("crypto", Test_crypto.suite);
+      ("field", Test_field.suite);
+      ("curve", Test_curve.suite);
+      ("pairing", Test_pairing.suite);
+      ("ibe", Test_ibe.suite);
+      ("bls", Test_bls.suite);
+      ("dh", Test_dh.suite);
+      ("keywheel", Test_keywheel.suite);
+      ("bloom", Test_bloom.suite);
+      ("mixnet", Test_mixnet.suite);
+      ("pkg", Test_pkg.suite);
+      ("client", Test_client.suite);
+      ("integration", Test_integration.suite);
+      ("vuvuzela", Test_vuvuzela.suite);
+      ("sim", Test_sim.suite);
+      ("privacy", Test_privacy.suite);
+      ("ratelimit", Test_ratelimit.suite);
+      ("entry", Test_entry.suite);
+      ("persist", Test_persist.suite);
+      ("robustness", Test_robustness.suite);
+      ("ledger", Test_ledger.suite);
+    ]

@@ -1,0 +1,95 @@
+(* BLS signatures and same-message multisignatures. *)
+
+module B = Alpenhorn_bigint.Bigint
+module Curve = Alpenhorn_pairing.Curve
+module Params = Alpenhorn_pairing.Params
+module Bls = Alpenhorn_bls.Bls
+module Drbg = Alpenhorn_crypto.Drbg
+
+let params = lazy (Params.test ())
+let p () = Lazy.force params
+let rng () = Drbg.create ~seed:"bls-tests"
+
+let unit_tests =
+  [
+    Alcotest.test_case "sign/verify" `Quick (fun () ->
+        let pr = p () and rng = rng () in
+        let sk, pk = Bls.keygen pr rng in
+        let s = Bls.sign pr sk "the message" in
+        Alcotest.(check bool) "valid" true (Bls.verify pr pk "the message" s);
+        Alcotest.(check bool) "wrong message" false (Bls.verify pr pk "another message" s));
+    Alcotest.test_case "wrong key rejects" `Quick (fun () ->
+        let pr = p () and rng = rng () in
+        let sk, _ = Bls.keygen pr rng in
+        let _, pk2 = Bls.keygen pr rng in
+        let s = Bls.sign pr sk "msg" in
+        Alcotest.(check bool) "other key" false (Bls.verify pr pk2 "msg" s));
+    Alcotest.test_case "deterministic signatures" `Quick (fun () ->
+        let pr = p () and rng = rng () in
+        let sk, _ = Bls.keygen pr rng in
+        Alcotest.(check bool) "same" true
+          (Curve.equal (Bls.sign pr sk "m") (Bls.sign pr sk "m")));
+    Alcotest.test_case "infinity is never valid" `Quick (fun () ->
+        let pr = p () and rng = rng () in
+        let _, pk = Bls.keygen pr rng in
+        Alcotest.(check bool) "inf sig" false (Bls.verify pr pk "m" Curve.Inf);
+        Alcotest.(check bool) "inf key" false (Bls.verify pr Curve.Inf "m" (Bls.sign pr B.one "m")));
+    Alcotest.test_case "multisignature verifies with all signers" `Quick (fun () ->
+        let pr = p () and rng = rng () in
+        let signers = List.init 5 (fun _ -> Bls.keygen pr rng) in
+        let msg = "attest: alice@example.org round 7" in
+        let agg = Bls.aggregate pr (List.map (fun (sk, _) -> Bls.sign pr sk msg) signers) in
+        let pks = List.map snd signers in
+        Alcotest.(check bool) "multi ok" true (Bls.verify_multi pr pks msg agg));
+    Alcotest.test_case "multisignature missing one signer fails" `Quick (fun () ->
+        let pr = p () and rng = rng () in
+        let signers = List.init 3 (fun _ -> Bls.keygen pr rng) in
+        let msg = "binding" in
+        let sigs = List.map (fun (sk, _) -> Bls.sign pr sk msg) signers in
+        let partial = Bls.aggregate pr (List.tl sigs) in
+        Alcotest.(check bool) "partial aggregate" false
+          (Bls.verify_multi pr (List.map snd signers) msg partial));
+    Alcotest.test_case "multisignature over different messages fails" `Quick (fun () ->
+        let pr = p () and rng = rng () in
+        let (sk1, pk1) = Bls.keygen pr rng and (sk2, pk2) = Bls.keygen pr rng in
+        let agg = Bls.aggregate pr [ Bls.sign pr sk1 "m1"; Bls.sign pr sk2 "m2" ] in
+        Alcotest.(check bool) "mixed messages" false (Bls.verify_multi pr [ pk1; pk2 ] "m1" agg));
+    Alcotest.test_case "serialization roundtrips" `Quick (fun () ->
+        let pr = p () and rng = rng () in
+        let sk, pk = Bls.keygen pr rng in
+        let s = Bls.sign pr sk "ser" in
+        Alcotest.(check bool) "pk" true
+          (match Bls.public_of_bytes pr (Bls.public_bytes pr pk) with
+           | Some p2 -> Curve.equal p2 pk
+           | None -> false);
+        Alcotest.(check bool) "sig" true
+          (match Bls.signature_of_bytes pr (Bls.signature_bytes pr s) with
+           | Some s2 -> Curve.equal s2 s
+           | None -> false));
+  ]
+
+let prop name ?(count = 15) arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+let property_tests =
+  [
+    prop "any signed message verifies" QCheck.small_string (fun msg ->
+        let pr = p () in
+        let rng = Drbg.create ~seed:("p1" ^ msg) in
+        let sk, pk = Bls.keygen pr rng in
+        Bls.verify pr pk msg (Bls.sign pr sk msg));
+    prop "signature on m never verifies m'" QCheck.(pair small_string small_string)
+      (fun (m1, m2) ->
+        QCheck.assume (m1 <> m2);
+        let pr = p () in
+        let rng = Drbg.create ~seed:("p2" ^ m1 ^ m2) in
+        let sk, pk = Bls.keygen pr rng in
+        not (Bls.verify pr pk m2 (Bls.sign pr sk m1)));
+    prop "aggregation order is irrelevant" QCheck.(int_range 0 1000) (fun seed ->
+        let pr = p () in
+        let rng = Drbg.create ~seed:(string_of_int seed) in
+        let signers = List.init 4 (fun _ -> Bls.keygen pr rng) in
+        let sigs = List.map (fun (sk, _) -> Bls.sign pr sk "order") signers in
+        Curve.equal (Bls.aggregate pr sigs) (Bls.aggregate pr (List.rev sigs)));
+  ]
+
+let suite = unit_tests @ property_tests

@@ -1,0 +1,109 @@
+(* The entry server: round lifecycle, batching, and the token gate. *)
+
+module Params = Alpenhorn_pairing.Params
+module Bls = Alpenhorn_bls.Bls
+module Blind = Alpenhorn_bls.Blind
+module Ratelimit = Alpenhorn_mixnet.Ratelimit
+module Entry = Alpenhorn_core.Entry
+module Drbg = Alpenhorn_crypto.Drbg
+
+let params = lazy (Params.test ())
+let p () = Lazy.force params
+
+let announcement round =
+  {
+    Entry.round;
+    mode = `Dialing;
+    server_pks = [];
+    mpk_agg = None;
+    num_mailboxes = 1;
+  }
+
+let make_token pr rng issuer =
+  let serial = Ratelimit.fresh_serial rng in
+  let blinded, r = Blind.blind pr rng ~msg:serial in
+  match Ratelimit.issue issuer ~now:0 ~user:"alice@x" blinded with
+  | Error `Quota_exhausted -> Alcotest.fail "quota"
+  | Ok signed ->
+    let signature = Blind.unblind pr (Ratelimit.issuer_public issuer) ~signed r in
+    { Ratelimit.serial; signature }
+
+let unit_tests =
+  [
+    Alcotest.test_case "round lifecycle and batching order" `Quick (fun () ->
+        let e = Entry.create (p ()) () in
+        Alcotest.(check bool) "no tokens required" false (Entry.requires_tokens e);
+        Alcotest.(check bool) "no round" true (Entry.current e = None);
+        (match Entry.submit e "early" with
+         | Error `No_round -> ()
+         | _ -> Alcotest.fail "accepted before round");
+        Entry.open_round e (announcement 1);
+        List.iter
+          (fun s -> match Entry.submit e s with Ok () -> () | Error _ -> Alcotest.fail "reject")
+          [ "a"; "b"; "c" ];
+        Alcotest.(check (array string)) "batch in order" [| "a"; "b"; "c" |] (Entry.close_round e);
+        Alcotest.(check bool) "closed" true (Entry.current e = None));
+    Alcotest.test_case "cannot open twice or close unopened" `Quick (fun () ->
+        let e = Entry.create (p ()) () in
+        Entry.open_round e (announcement 1);
+        Alcotest.check_raises "double open" (Invalid_argument "Entry.open_round: round already open")
+          (fun () -> Entry.open_round e (announcement 2));
+        ignore (Entry.close_round e);
+        Alcotest.check_raises "close unopened" (Invalid_argument "Entry.close_round: no open round")
+          (fun () -> ignore (Entry.close_round e)));
+    Alcotest.test_case "token gate admits valid tokens once" `Quick (fun () ->
+        let pr = p () in
+        let rng = Drbg.create ~seed:"entry1" in
+        let issuer = Ratelimit.create_issuer pr ~rng ~quota_per_day:10 in
+        let e = Entry.create pr ~token_issuer_key:(Ratelimit.issuer_public issuer) () in
+        Alcotest.(check bool) "tokens required" true (Entry.requires_tokens e);
+        Entry.open_round e (announcement 1);
+        let token = make_token pr rng issuer in
+        (match Entry.submit e ~token "real" with Ok () -> () | Error _ -> Alcotest.fail "rejected");
+        (* replaying the same token is refused *)
+        (match Entry.submit e ~token "replay" with
+         | Error `Bad_token -> ()
+         | _ -> Alcotest.fail "replay accepted");
+        (* and a tokenless submission too *)
+        (match Entry.submit e "bare" with
+         | Error `Bad_token -> ()
+         | _ -> Alcotest.fail "tokenless accepted");
+        Alcotest.(check (array string)) "only the real one" [| "real" |] (Entry.close_round e);
+        Alcotest.(check int) "rejections counted" 2 (Entry.submissions_rejected e));
+    Alcotest.test_case "forged tokens never pass the gate" `Quick (fun () ->
+        let pr = p () in
+        let rng = Drbg.create ~seed:"entry2" in
+        let issuer = Ratelimit.create_issuer pr ~rng ~quota_per_day:10 in
+        let e = Entry.create pr ~token_issuer_key:(Ratelimit.issuer_public issuer) () in
+        Entry.open_round e (announcement 1);
+        (* sign with a key that is not the issuer's *)
+        let rogue_sk, rogue_pk = Bls.keygen pr rng in
+        let serial = Ratelimit.fresh_serial rng in
+        let blinded, r = Blind.blind pr rng ~msg:serial in
+        let signature = Blind.unblind pr rogue_pk ~signed:(Blind.sign_blinded pr rogue_sk blinded) r in
+        (match Entry.submit e ~token:{ Ratelimit.serial; signature } "spam" with
+         | Error `Bad_token -> ()
+         | _ -> Alcotest.fail "forged token accepted");
+        Alcotest.(check (array string)) "empty batch" [||] (Entry.close_round e));
+    Alcotest.test_case "a flood without tokens cannot grow the batch" `Quick (fun () ->
+        (* the §9 scenario: a swarm sends real-looking traffic every round *)
+        let pr = p () in
+        let rng = Drbg.create ~seed:"entry3" in
+        let issuer = Ratelimit.create_issuer pr ~rng ~quota_per_day:2 in
+        let e = Entry.create pr ~token_issuer_key:(Ratelimit.issuer_public issuer) () in
+        Entry.open_round e (announcement 1);
+        for _ = 1 to 100 do
+          ignore (Entry.submit e "flood")
+        done;
+        (* the legitimate user still gets their two submissions through *)
+        for _ = 1 to 2 do
+          match Entry.submit e ~token:(make_token pr rng issuer) "legit" with
+          | Ok () -> ()
+          | Error _ -> Alcotest.fail "legit rejected"
+        done;
+        Alcotest.(check int) "batch is just the legit traffic" 2
+          (Array.length (Entry.close_round e));
+        Alcotest.(check int) "flood counted as rejected" 100 (Entry.submissions_rejected e));
+  ]
+
+let suite = unit_tests

@@ -1,0 +1,137 @@
+(* F_p and F_p² arithmetic against bignum reference computations and the
+   field axioms. *)
+
+module B = Alpenhorn_bigint.Bigint
+module Field = Alpenhorn_pairing.Field
+module Fp2 = Alpenhorn_pairing.Fp2
+module Drbg = Alpenhorn_crypto.Drbg
+
+let params = lazy (Alpenhorn_pairing.Params.test ())
+let fp () = (Lazy.force params).Alpenhorn_pairing.Params.fp
+
+let gen_el =
+  QCheck.Gen.map
+    (fun seed ->
+      let rng = Drbg.create ~seed:(string_of_int seed) in
+      Drbg.bigint_below rng (Field.modulus (fp ())))
+    QCheck.Gen.(int_range 0 1_000_000)
+
+let arb_el = QCheck.make ~print:B.to_string gen_el
+
+let arb_fp2 =
+  QCheck.make
+    ~print:(fun (e : Fp2.el) -> B.to_string e.Fp2.re ^ "+" ^ B.to_string e.Fp2.im ^ "i")
+    QCheck.Gen.(map2 Fp2.make gen_el gen_el)
+
+let unit_tests =
+  [
+    Alcotest.test_case "create rejects bad modulus" `Quick (fun () ->
+        Alcotest.check_raises "13 mod 12 = 1"
+          (Invalid_argument "Field.create: modulus must be 11 mod 12") (fun () ->
+            ignore (Field.create (B.of_int 13))));
+    Alcotest.test_case "reduce matches rem" `Quick (fun () ->
+        let f = fp () in
+        let p = Field.modulus f in
+        let rng = Drbg.create ~seed:"reduce" in
+        for _ = 1 to 50 do
+          let x = Drbg.bigint_bits rng (2 * B.numbits p - 2) in
+          Alcotest.(check string) "barrett" (B.to_string (B.rem x p)) (B.to_string (Field.reduce f x))
+        done);
+    Alcotest.test_case "sqrt of squares" `Quick (fun () ->
+        let f = fp () in
+        let rng = Drbg.create ~seed:"sqrt" in
+        for _ = 1 to 20 do
+          let x = Drbg.bigint_below rng (Field.modulus f) in
+          let sq = Field.sqr f x in
+          match Field.sqrt f sq with
+          | None -> Alcotest.fail "square had no root"
+          | Some r -> Alcotest.(check bool) "root squares back" true (Field.equal (Field.sqr f r) sq)
+        done);
+    Alcotest.test_case "sqrt rejects non-residues" `Quick (fun () ->
+        (* -1 is a non-residue when p ≡ 3 mod 4 *)
+        let f = fp () in
+        Alcotest.(check bool) "sqrt(-1) = None" true (Field.sqrt f (Field.neg f B.one) = None));
+    Alcotest.test_case "cbrt is cube-inverse" `Quick (fun () ->
+        let f = fp () in
+        let rng = Drbg.create ~seed:"cbrt" in
+        for _ = 1 to 20 do
+          let x = Drbg.bigint_below rng (Field.modulus f) in
+          let cube = Field.mul f (Field.sqr f x) x in
+          Alcotest.(check string) "cbrt(x^3) = x" (B.to_string x) (B.to_string (Field.cbrt f cube))
+        done);
+    Alcotest.test_case "element bytes roundtrip" `Quick (fun () ->
+        let f = fp () in
+        let rng = Drbg.create ~seed:"fbytes" in
+        let x = Drbg.bigint_below rng (Field.modulus f) in
+        Alcotest.(check string) "roundtrip" (B.to_string x)
+          (B.to_string (Field.of_bytes f (Field.to_bytes f x)));
+        Alcotest.check_raises "non-canonical" (Invalid_argument "Field.of_bytes: not canonical")
+          (fun () -> ignore (Field.of_bytes f (String.make (Field.element_bytes f) '\xff'))));
+    Alcotest.test_case "fp2 one and zero" `Quick (fun () ->
+        let f = fp () in
+        Alcotest.(check bool) "1*1=1" true (Fp2.equal (Fp2.mul f Fp2.one Fp2.one) Fp2.one);
+        Alcotest.(check bool) "0+0=0" true (Fp2.is_zero (Fp2.add f Fp2.zero Fp2.zero));
+        Alcotest.(check bool) "one in base field" true (Fp2.in_base_field Fp2.one));
+    Alcotest.test_case "fp2 i^2 = -1" `Quick (fun () ->
+        let f = fp () in
+        let i = Fp2.make B.zero B.one in
+        let minus_one = Fp2.of_fp (Field.neg f B.one) in
+        Alcotest.(check bool) "i*i" true (Fp2.equal (Fp2.mul f i i) minus_one));
+    Alcotest.test_case "fp2 conj multiplies to norm" `Quick (fun () ->
+        let f = fp () in
+        let rng = Drbg.create ~seed:"conj" in
+        let a = Fp2.make (Drbg.bigint_below rng (Field.modulus f)) (Drbg.bigint_below rng (Field.modulus f)) in
+        let n = Fp2.mul f a (Fp2.conj f a) in
+        Alcotest.(check bool) "norm is in F_p" true (Fp2.in_base_field n));
+    Alcotest.test_case "fp2 bytes roundtrip" `Quick (fun () ->
+        let f = fp () in
+        let rng = Drbg.create ~seed:"fp2bytes" in
+        let a = Fp2.make (Drbg.bigint_below rng (Field.modulus f)) (Drbg.bigint_below rng (Field.modulus f)) in
+        Alcotest.(check bool) "roundtrip" true (Fp2.equal a (Fp2.of_bytes f (Fp2.to_bytes f a))));
+  ]
+
+let prop name ?(count = 60) arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+let property_tests =
+  [
+    prop "fp add inverse" arb_el (fun a ->
+        let f = fp () in
+        Field.is_zero (Field.add f a (Field.neg f a)));
+    prop "fp mul inverse" arb_el (fun a ->
+        let f = fp () in
+        QCheck.assume (not (Field.is_zero a));
+        Field.equal (Field.mul f a (Field.inv f a)) B.one);
+    prop "fp mul distributes" QCheck.(triple arb_el arb_el arb_el) (fun (a, b, c) ->
+        let f = fp () in
+        Field.equal (Field.mul f a (Field.add f b c)) (Field.add f (Field.mul f a b) (Field.mul f a c)));
+    prop "fp pow adds exponents" QCheck.(triple arb_el (QCheck.int_range 0 50) (QCheck.int_range 0 50))
+      (fun (a, m, n) ->
+        let f = fp () in
+        Field.equal
+          (Field.mul f (Field.pow f a (B.of_int m)) (Field.pow f a (B.of_int n)))
+          (Field.pow f a (B.of_int (m + n))));
+    prop "fp2 mul comm" QCheck.(pair arb_fp2 arb_fp2) (fun (a, b) ->
+        let f = fp () in
+        Fp2.equal (Fp2.mul f a b) (Fp2.mul f b a));
+    prop "fp2 mul assoc" QCheck.(triple arb_fp2 arb_fp2 arb_fp2) (fun (a, b, c) ->
+        let f = fp () in
+        Fp2.equal (Fp2.mul f (Fp2.mul f a b) c) (Fp2.mul f a (Fp2.mul f b c)));
+    prop "fp2 sqr matches mul" arb_fp2 (fun a ->
+        let f = fp () in
+        Fp2.equal (Fp2.sqr f a) (Fp2.mul f a a));
+    prop "fp2 inv is inverse" arb_fp2 (fun a ->
+        let f = fp () in
+        QCheck.assume (not (Fp2.is_zero a));
+        Fp2.equal (Fp2.mul f a (Fp2.inv f a)) Fp2.one);
+    prop "fp2 distributivity" QCheck.(triple arb_fp2 arb_fp2 arb_fp2) (fun (a, b, c) ->
+        let f = fp () in
+        Fp2.equal (Fp2.mul f a (Fp2.add f b c)) (Fp2.add f (Fp2.mul f a b) (Fp2.mul f a c)));
+    prop "fp2 pow adds exponents" QCheck.(triple arb_fp2 (QCheck.int_range 0 30) (QCheck.int_range 0 30))
+      (fun (a, m, n) ->
+        let f = fp () in
+        Fp2.equal
+          (Fp2.mul f (Fp2.pow f a (B.of_int m)) (Fp2.pow f a (B.of_int n)))
+          (Fp2.pow f a (B.of_int (m + n))));
+  ]
+
+let suite = unit_tests @ property_tests

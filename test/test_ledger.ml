@@ -1,0 +1,102 @@
+(* The verifiable key ledger (§3.2 worst-case defense). *)
+
+module Ledger = Alpenhorn_ledger.Ledger
+module Drbg = Alpenhorn_crypto.Drbg
+
+let unit_tests =
+  [
+    Alcotest.test_case "empty log" `Quick (fun () ->
+        let l = Ledger.create () in
+        Alcotest.(check int) "size" 0 (Ledger.size l);
+        Alcotest.(check string) "root" "" (Ledger.root l);
+        Alcotest.(check bool) "consistent with itself" true
+          (Ledger.consistent l ~old_size:0 ~old_root:""));
+    Alcotest.test_case "append and prove across sizes" `Quick (fun () ->
+        (* exercise every tree shape from 1 to 33 leaves *)
+        let l = Ledger.create () in
+        for i = 0 to 32 do
+          let identity = Printf.sprintf "user%d@x" i in
+          let key = Printf.sprintf "key-%d" i in
+          let idx = Ledger.append l ~identity ~key_bytes:key in
+          Alcotest.(check int) "index" i idx;
+          (* every older leaf still proves against the new root *)
+          let root = Ledger.root l and size = Ledger.size l in
+          for j = 0 to i do
+            let leaf =
+              Ledger.leaf_hash
+                ~identity:(Printf.sprintf "user%d@x" j)
+                ~key_bytes:(Printf.sprintf "key-%d" j)
+            in
+            Alcotest.(check bool)
+              (Printf.sprintf "leaf %d of %d" j size)
+              true
+              (Ledger.verify_inclusion ~root ~size ~index:j ~leaf (Ledger.prove l j))
+          done
+        done);
+    Alcotest.test_case "proofs are logarithmic" `Quick (fun () ->
+        let l = Ledger.create () in
+        for i = 0 to 1023 do
+          ignore (Ledger.append l ~identity:(string_of_int i) ~key_bytes:"k")
+        done;
+        Alcotest.(check int) "1024 leaves -> 10 hashes" 10 (Ledger.proof_size (Ledger.prove l 0)));
+    Alcotest.test_case "wrong leaf, index or root fails" `Quick (fun () ->
+        let l = Ledger.create () in
+        ignore (Ledger.append l ~identity:"alice@x" ~key_bytes:"ka");
+        ignore (Ledger.append l ~identity:"bob@x" ~key_bytes:"kb");
+        ignore (Ledger.append l ~identity:"carol@x" ~key_bytes:"kc");
+        let root = Ledger.root l and size = Ledger.size l in
+        let leaf = Ledger.leaf_hash ~identity:"alice@x" ~key_bytes:"ka" in
+        let proof = Ledger.prove l 0 in
+        Alcotest.(check bool) "good" true
+          (Ledger.verify_inclusion ~root ~size ~index:0 ~leaf proof);
+        Alcotest.(check bool) "wrong leaf" false
+          (Ledger.verify_inclusion ~root ~size ~index:0
+             ~leaf:(Ledger.leaf_hash ~identity:"alice@x" ~key_bytes:"EVIL")
+             proof);
+        Alcotest.(check bool) "wrong index" false
+          (Ledger.verify_inclusion ~root ~size ~index:1 ~leaf proof);
+        Alcotest.(check bool) "wrong root" false
+          (Ledger.verify_inclusion ~root:(String.make 32 'x') ~size ~index:0 ~leaf proof);
+        Alcotest.(check bool) "out of range" false
+          (Ledger.verify_inclusion ~root ~size ~index:99 ~leaf proof);
+        Alcotest.check_raises "prove out of range" (Invalid_argument "Ledger.prove: index")
+          (fun () -> ignore (Ledger.prove l 5)));
+    Alcotest.test_case "consistency across appends (monitor flow)" `Quick (fun () ->
+        let l = Ledger.create () in
+        ignore (Ledger.append l ~identity:"alice@x" ~key_bytes:"ka");
+        ignore (Ledger.append l ~identity:"bob@x" ~key_bytes:"kb");
+        let pinned_root = Ledger.root l and pinned_size = Ledger.size l in
+        (* the log grows; the old pin must still be an ancestor *)
+        ignore (Ledger.append l ~identity:"carol@x" ~key_bytes:"kc");
+        ignore (Ledger.append l ~identity:"dave@x" ~key_bytes:"kd");
+        Alcotest.(check bool) "extends pin" true
+          (Ledger.consistent l ~old_size:pinned_size ~old_root:pinned_root);
+        Alcotest.(check bool) "fake history rejected" false
+          (Ledger.consistent l ~old_size:pinned_size ~old_root:(String.make 32 'z')));
+    Alcotest.test_case "impersonation is visible to a monitoring user (§3.2)" `Quick (fun () ->
+        let l = Ledger.create () in
+        ignore (Ledger.append l ~identity:"alice@x" ~key_bytes:"alice-real-key");
+        (* a MITM must publish a conflicting binding to be believed *)
+        ignore (Ledger.append l ~identity:"alice@x" ~key_bytes:"mitm-key");
+        let bindings = Ledger.bindings_for l ~identity:"alice@x" in
+        Alcotest.(check int) "two bindings visible" 2 (List.length bindings);
+        Alcotest.(check bool) "the rogue key is right there" true
+          (List.exists (fun (_, k) -> k = "mitm-key") bindings));
+    Alcotest.test_case "proof from a real BLS key registration verifies" `Quick (fun () ->
+        (* the full §3.2 flow: register a long-term key, hand a friend the
+           (root, index, proof); the friend checks the binding offline *)
+        let pr = Alpenhorn_pairing.Params.test () in
+        let rng = Drbg.create ~seed:"ledger-bls" in
+        let _, pk = Alpenhorn_bls.Bls.keygen pr rng in
+        let key_bytes = Alpenhorn_bls.Bls.public_bytes pr pk in
+        let l = Ledger.create () in
+        ignore (Ledger.append l ~identity:"seed@x" ~key_bytes:"other");
+        let idx = Ledger.append l ~identity:"alice@x" ~key_bytes in
+        let proof = Ledger.prove l idx in
+        Alcotest.(check bool) "binding verifies" true
+          (Ledger.verify_inclusion ~root:(Ledger.root l) ~size:(Ledger.size l) ~index:idx
+             ~leaf:(Ledger.leaf_hash ~identity:"alice@x" ~key_bytes)
+             proof));
+  ]
+
+let suite = unit_tests

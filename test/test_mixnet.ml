@@ -1,0 +1,197 @@
+(* Mixnet: onion layers, payloads, server processing, chain, mailboxes. *)
+
+module Params = Alpenhorn_pairing.Params
+module Dh = Alpenhorn_dh.Dh
+module Onion = Alpenhorn_mixnet.Onion
+module Payload = Alpenhorn_mixnet.Payload
+module Server = Alpenhorn_mixnet.Server
+module Chain = Alpenhorn_mixnet.Chain
+module Mailbox = Alpenhorn_mixnet.Mailbox
+module Bloom = Alpenhorn_bloom.Bloom
+module Drbg = Alpenhorn_crypto.Drbg
+
+let params = lazy (Params.test ())
+let p () = Lazy.force params
+
+let unit_tests =
+  [
+    Alcotest.test_case "onion wrap/unwrap through three layers" `Quick (fun () ->
+        let pr = p () in
+        let rng = Drbg.create ~seed:"onion" in
+        let keys = List.init 3 (fun _ -> Dh.keygen pr rng) in
+        let onion = Onion.wrap pr rng ~server_pks:(List.map snd keys) "the payload" in
+        let result =
+          List.fold_left
+            (fun acc (sk, _) -> Option.bind acc (fun msg -> Onion.unwrap pr ~sk msg))
+            (Some onion) keys
+        in
+        Alcotest.(check (option string)) "restored" (Some "the payload") result);
+    Alcotest.test_case "wrong server key fails to unwrap" `Quick (fun () ->
+        let pr = p () in
+        let rng = Drbg.create ~seed:"onion2" in
+        let _, pk = Dh.keygen pr rng in
+        let sk2, _ = Dh.keygen pr rng in
+        let onion = Onion.wrap pr rng ~server_pks:[ pk ] "payload" in
+        Alcotest.(check (option string)) "reject" None (Onion.unwrap pr ~sk:sk2 onion));
+    Alcotest.test_case "unwrap order matters" `Quick (fun () ->
+        let pr = p () in
+        let rng = Drbg.create ~seed:"onion3" in
+        let (sk1, pk1) = Dh.keygen pr rng and (sk2, pk2) = Dh.keygen pr rng in
+        let onion = Onion.wrap pr rng ~server_pks:[ pk1; pk2 ] "payload" in
+        (* second server's key cannot strip the first layer *)
+        Alcotest.(check (option string)) "out of order" None (Onion.unwrap pr ~sk:sk2 onion);
+        Alcotest.(check (option string)) "in order" (Some "payload")
+          (Option.bind (Onion.unwrap pr ~sk:sk1 onion) (fun m -> Onion.unwrap pr ~sk:sk2 m)));
+    Alcotest.test_case "layer overhead is exact" `Quick (fun () ->
+        let pr = p () in
+        let rng = Drbg.create ~seed:"onion4" in
+        let keys = List.init 3 (fun _ -> snd (Dh.keygen pr rng)) in
+        let body = String.make 100 'b' in
+        let onion = Onion.wrap pr rng ~server_pks:keys body in
+        Alcotest.(check int) "3 layers" (100 + (3 * Onion.layer_overhead pr)) (String.length onion));
+    Alcotest.test_case "payload codec" `Quick (fun () ->
+        Alcotest.(check (option (pair int string))) "roundtrip" (Some (7, "body"))
+          (Payload.decode (Payload.encode ~mailbox:7 "body"));
+        Alcotest.(check (option (pair int string))) "cover id" (Some (Payload.cover, ""))
+          (Payload.decode (Payload.encode ~mailbox:Payload.cover ""));
+        Alcotest.(check bool) "short input" true (Payload.decode "ab" = None);
+        Alcotest.check_raises "negative mailbox" (Invalid_argument "Payload.encode: mailbox")
+          (fun () -> ignore (Payload.encode ~mailbox:(-1) "x")));
+    Alcotest.test_case "server process unwraps, adds noise, shuffles" `Quick (fun () ->
+        let pr = p () in
+        let rng = Drbg.create ~seed:"server" in
+        let s = Server.create pr ~rng:(Drbg.derive rng "s0") ~position:0 ~chain_length:1 in
+        let pk = Server.new_round s in
+        let msgs =
+          Array.init 20 (fun i ->
+              Onion.wrap pr rng ~server_pks:[ pk ]
+                (Payload.encode ~mailbox:0 (Printf.sprintf "msg-%02d" i)))
+        in
+        let out, noise =
+          Server.process s ~downstream_pks:[] ~noise_mu:5.0 ~laplace_b:0.0 ~num_mailboxes:2
+            ~noise_body:(fun ~mailbox:_ -> "nnnnnn") msgs
+        in
+        Alcotest.(check int) "noise count: mu per mailbox" 10 noise;
+        Alcotest.(check int) "total out" 30 (Array.length out);
+        (* all real payloads survive the shuffle *)
+        let decoded = Array.to_list out |> List.filter_map Payload.decode |> List.map snd in
+        for i = 0 to 19 do
+          let m = Printf.sprintf "msg-%02d" i in
+          Alcotest.(check bool) m true (List.mem m decoded)
+        done);
+    Alcotest.test_case "server drops undecryptable input (client DoS)" `Quick (fun () ->
+        let pr = p () in
+        let rng = Drbg.create ~seed:"server2" in
+        let s = Server.create pr ~rng:(Drbg.derive rng "s0") ~position:0 ~chain_length:1 in
+        let _ = Server.new_round s in
+        let out, _ =
+          Server.process s ~downstream_pks:[] ~noise_mu:0.0 ~laplace_b:0.0 ~num_mailboxes:1
+            ~noise_body:(fun ~mailbox:_ -> "")
+            [| "garbage"; String.make 200 'x' |]
+        in
+        Alcotest.(check int) "all dropped" 0 (Array.length out));
+    Alcotest.test_case "server refuses to process without a round key" `Quick (fun () ->
+        let pr = p () in
+        let rng = Drbg.create ~seed:"server3" in
+        let s = Server.create pr ~rng ~position:0 ~chain_length:1 in
+        Alcotest.check_raises "no key" (Invalid_argument "Server.process: no round key (call new_round)")
+          (fun () ->
+            ignore
+              (Server.process s ~downstream_pks:[] ~noise_mu:0.0 ~laplace_b:0.0 ~num_mailboxes:1
+                 ~noise_body:(fun ~mailbox:_ -> "")
+                 [||]));
+        let _ = Server.new_round s in
+        Server.end_round s;
+        (* after end_round, the key is erased again *)
+        Alcotest.(check bool) "key erased" true (Server.round_public s = None));
+    Alcotest.test_case "chain delivers payloads to the right mailboxes" `Quick (fun () ->
+        let pr = p () in
+        let rng = Drbg.create ~seed:"chain" in
+        let chain = Chain.create pr ~rng ~chain_length:3 in
+        let pks = Chain.begin_round chain in
+        let batch =
+          Array.init 10 (fun i ->
+              Onion.wrap pr rng ~server_pks:pks
+                (Payload.encode ~mailbox:(i mod 3) (Printf.sprintf "p%d" i)))
+        in
+        let mailboxes, stats =
+          Chain.run_round chain ~mode:`AddFriend ~noise_mu:1.0 ~laplace_b:0.0 ~num_mailboxes:3
+            ~noise_body:(fun ~mailbox:_ -> "noise!") batch
+        in
+        Alcotest.(check int) "real in" 10 stats.Chain.real_in;
+        let buckets = Mailbox.plain_exn mailboxes in
+        Alcotest.(check int) "3 mailboxes" 3 (Array.length buckets);
+        for i = 0 to 9 do
+          Alcotest.(check bool)
+            (Printf.sprintf "p%d in mailbox %d" i (i mod 3))
+            true
+            (List.mem (Printf.sprintf "p%d" i) buckets.(i mod 3))
+        done);
+    Alcotest.test_case "chain cover traffic is dropped" `Quick (fun () ->
+        let pr = p () in
+        let rng = Drbg.create ~seed:"chain2" in
+        let chain = Chain.create pr ~rng ~chain_length:2 in
+        let pks = Chain.begin_round chain in
+        let batch =
+          Array.init 5 (fun _ ->
+              Onion.wrap pr rng ~server_pks:pks (Payload.encode ~mailbox:Payload.cover "cover"))
+        in
+        let mailboxes, stats =
+          Chain.run_round chain ~mode:`AddFriend ~noise_mu:0.0 ~laplace_b:0.0 ~num_mailboxes:1
+            ~noise_body:(fun ~mailbox:_ -> "") batch
+        in
+        Alcotest.(check int) "all cover dropped" 5 stats.Chain.dropped;
+        Alcotest.(check int) "mailbox empty" 0 (List.length (Mailbox.plain_exn mailboxes).(0)));
+    Alcotest.test_case "dialing mode packs Bloom filters" `Quick (fun () ->
+        let pr = p () in
+        let rng = Drbg.create ~seed:"chain3" in
+        let chain = Chain.create pr ~rng ~chain_length:2 in
+        let pks = Chain.begin_round chain in
+        let token = Drbg.bytes rng 32 in
+        let batch = [| Onion.wrap pr rng ~server_pks:pks (Payload.encode ~mailbox:0 token) |] in
+        let mailboxes, _ =
+          Chain.run_round chain ~mode:`Dialing ~noise_mu:2.0 ~laplace_b:0.0 ~num_mailboxes:1
+            ~noise_body:(fun ~mailbox:_ -> Drbg.bytes rng 32)
+            batch
+        in
+        let filters = Mailbox.filters_exn mailboxes in
+        Alcotest.(check bool) "token in filter" true (Bloom.mem filters.(0) token);
+        Alcotest.(check bool) "random token not in filter" false
+          (Bloom.mem filters.(0) (Drbg.bytes rng 32)));
+    Alcotest.test_case "mailbox count policy (§6 balance)" `Quick (fun () ->
+        (* paper's own examples: 1M users 5% active -> 4 add-friend mailboxes,
+           42 at 10M; dialing: 1 at 1M, 7 at 10M *)
+        let check name expected ~real ~mu =
+          Alcotest.(check int) name expected
+            (Mailbox.num_mailboxes_for ~expected_real:real ~noise_mu:mu ~chain_length:3)
+        in
+        check "1M addfriend" 4 ~real:50_000 ~mu:4000.0;
+        check "10M addfriend" 42 ~real:500_000 ~mu:4000.0;
+        check "1M dialing" 1 ~real:50_000 ~mu:25000.0;
+        check "10M dialing" 7 ~real:500_000 ~mu:25000.0;
+        check "tiny load still 1" 1 ~real:10 ~mu:4000.0);
+    Alcotest.test_case "mailbox_of_identity is stable and in range" `Quick (fun () ->
+        let m1 = Mailbox.mailbox_of_identity "alice@x" ~num_mailboxes:7 in
+        let m2 = Mailbox.mailbox_of_identity "alice@x" ~num_mailboxes:7 in
+        Alcotest.(check int) "stable" m1 m2;
+        Alcotest.(check bool) "range" true (m1 >= 0 && m1 < 7));
+  ]
+
+let prop name ?(count = 15) arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+let property_tests =
+  [
+    prop "onion roundtrip for arbitrary bodies and chain lengths"
+      QCheck.(pair small_string (int_range 1 4))
+      (fun (body, n) ->
+        let pr = p () in
+        let rng = Drbg.create ~seed:(body ^ string_of_int n) in
+        let keys = List.init n (fun _ -> Dh.keygen pr rng) in
+        let onion = Onion.wrap pr rng ~server_pks:(List.map snd keys) body in
+        List.fold_left
+          (fun acc (sk, _) -> Option.bind acc (fun m -> Onion.unwrap pr ~sk m))
+          (Some onion) keys
+        = Some body);
+  ]
+
+let suite = unit_tests @ property_tests

@@ -1,0 +1,96 @@
+(* The Tate pairing: bilinearity, non-degeneracy, hash-to-group. *)
+
+module B = Alpenhorn_bigint.Bigint
+module Curve = Alpenhorn_pairing.Curve
+module Fp2 = Alpenhorn_pairing.Fp2
+module Params = Alpenhorn_pairing.Params
+module Pairing = Alpenhorn_pairing.Pairing
+module Drbg = Alpenhorn_crypto.Drbg
+
+let params = lazy (Params.test ())
+let p () = Lazy.force params
+
+let unit_tests =
+  [
+    Alcotest.test_case "parameter sets validate" `Quick (fun () ->
+        Params.validate (Params.test ());
+        (* of_named resolves both presets *)
+        ignore (Params.of_named "test");
+        Alcotest.check_raises "unknown set" (Invalid_argument "Params.of_named: nope") (fun () ->
+            ignore (Params.of_named "nope")));
+    Alcotest.test_case "non-degeneracy: e(g,g) <> 1" `Quick (fun () ->
+        let pr = p () in
+        Alcotest.(check bool) "e(g,g)" false
+          (Fp2.equal (Pairing.pair pr pr.Params.g pr.Params.g) Fp2.one));
+    Alcotest.test_case "pairing value has order q" `Quick (fun () ->
+        let pr = p () in
+        let e = Pairing.pair pr pr.Params.g pr.Params.g in
+        Alcotest.(check bool) "e^q = 1" true (Fp2.equal (Fp2.pow pr.Params.fp e pr.Params.q) Fp2.one));
+    Alcotest.test_case "rejects infinity" `Quick (fun () ->
+        let pr = p () in
+        Alcotest.check_raises "left" (Invalid_argument "Pairing.pair: point at infinity") (fun () ->
+            ignore (Pairing.pair pr Curve.Inf pr.Params.g)));
+    Alcotest.test_case "symmetry: e(a,b) = e(b,a)" `Quick (fun () ->
+        let pr = p () in
+        let f = pr.Params.fp and g = pr.Params.g in
+        let a = Curve.mul f (B.of_int 123) g and b = Curve.mul f (B.of_int 456) g in
+        Alcotest.(check bool) "symmetric" true (Fp2.equal (Pairing.pair pr a b) (Pairing.pair pr b a)));
+    Alcotest.test_case "hash_to_group produces order-q curve points" `Quick (fun () ->
+        let pr = p () in
+        List.iter
+          (fun id ->
+            let h = Pairing.hash_to_group pr id in
+            Alcotest.(check bool) (id ^ " on curve") true (Curve.is_on_curve pr.Params.fp h);
+            Alcotest.(check bool) (id ^ " not inf") false (Curve.equal h Curve.Inf);
+            Alcotest.(check bool) (id ^ " order q") true
+              (Curve.equal (Curve.mul pr.Params.fp pr.Params.q h) Curve.Inf))
+          [ "alice@example.org"; "bob@example.org"; ""; "x"; String.make 200 'z' ]);
+    Alcotest.test_case "hash_to_group deterministic and collision-free on sample" `Quick (fun () ->
+        let pr = p () in
+        let h1 = Pairing.hash_to_group pr "alice@example.org" in
+        let h2 = Pairing.hash_to_group pr "alice@example.org" in
+        let h3 = Pairing.hash_to_group pr "bob@example.org" in
+        Alcotest.(check bool) "deterministic" true (Curve.equal h1 h2);
+        Alcotest.(check bool) "distinct ids distinct points" false (Curve.equal h1 h3));
+    Alcotest.test_case "hash_to_scalar in range and deterministic" `Quick (fun () ->
+        let pr = p () in
+        let s1 = Pairing.hash_to_scalar pr "msg" and s2 = Pairing.hash_to_scalar pr "msg" in
+        Alcotest.(check bool) "deterministic" true (B.equal s1 s2);
+        Alcotest.(check bool) "in (0, q)" true (B.sign s1 > 0 && B.compare s1 pr.Params.q < 0);
+        Alcotest.(check bool) "differs by msg" false
+          (B.equal s1 (Pairing.hash_to_scalar pr "other")));
+    Alcotest.test_case "gt serialization is canonical" `Quick (fun () ->
+        let pr = p () in
+        let e = Pairing.pair pr pr.Params.g pr.Params.g in
+        Alcotest.(check string) "same bytes" (Pairing.gt_bytes pr e) (Pairing.gt_bytes pr e));
+  ]
+
+let prop name ?(count = 15) arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+let property_tests =
+  [
+    prop "bilinearity in the first argument" QCheck.(pair (int_range 1 500) (int_range 1 500))
+      (fun (a, b) ->
+        let pr = p () in
+        let f = pr.Params.fp and g = pr.Params.g in
+        let lhs = Pairing.pair pr (Curve.mul f (B.of_int a) g) (Curve.mul f (B.of_int b) g) in
+        let rhs = Fp2.pow f (Pairing.pair pr g g) (B.of_int (a * b)) in
+        Fp2.equal lhs rhs);
+    prop "pairing with hashed points is bilinear" QCheck.(pair (int_range 1 300) small_string)
+      (fun (a, id) ->
+        let pr = p () in
+        let f = pr.Params.fp in
+        let h = Pairing.hash_to_group pr id in
+        let lhs = Pairing.pair pr (Curve.mul f (B.of_int a) pr.Params.g) h in
+        let rhs = Fp2.pow f (Pairing.pair pr pr.Params.g h) (B.of_int a) in
+        Fp2.equal lhs rhs);
+    prop "e(aP, bQ) = e(bP, aQ)" QCheck.(pair (int_range 1 200) (int_range 1 200)) (fun (a, b) ->
+        let pr = p () in
+        let f = pr.Params.fp and g = pr.Params.g in
+        let h = Pairing.hash_to_group pr "swap-test" in
+        Fp2.equal
+          (Pairing.pair pr (Curve.mul f (B.of_int a) g) (Curve.mul f (B.of_int b) h))
+          (Pairing.pair pr (Curve.mul f (B.of_int b) g) (Curve.mul f (B.of_int a) h)));
+  ]
+
+let suite = unit_tests @ property_tests

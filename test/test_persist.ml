@@ -1,0 +1,109 @@
+(* Encrypted identity backups (§9). *)
+
+module B = Alpenhorn_bigint.Bigint
+module Curve = Alpenhorn_pairing.Curve
+module Params = Alpenhorn_pairing.Params
+module Bls = Alpenhorn_bls.Bls
+module Persist = Alpenhorn_core.Persist
+module Config = Alpenhorn_core.Config
+module Client = Alpenhorn_core.Client
+module Deployment = Alpenhorn_core.Deployment
+module Drbg = Alpenhorn_crypto.Drbg
+
+let params = lazy (Params.test ())
+let p () = Lazy.force params
+
+let sample_backup () =
+  let pr = p () in
+  let rng = Drbg.create ~seed:"persist" in
+  let sk, _ = Bls.keygen pr rng in
+  let _, friend_pk = Bls.keygen pr rng in
+  let _, friend_pk2 = Bls.keygen pr rng in
+  (sk, [ ("bob@x", friend_pk); ("carol@x", friend_pk2) ])
+
+let unit_tests =
+  [
+    Alcotest.test_case "roundtrip" `Quick (fun () ->
+        let pr = p () in
+        let sk, pinned = sample_backup () in
+        let blob =
+          Persist.export_identity pr ~passphrase:"hunter2" ~email:"alice@x" ~signing_secret:sk
+            ~pinned
+        in
+        match Persist.import_identity pr ~passphrase:"hunter2" blob with
+        | None -> Alcotest.fail "import failed"
+        | Some b ->
+          Alcotest.(check string) "email" "alice@x" b.Persist.email;
+          Alcotest.(check bool) "secret" true (B.equal sk b.Persist.signing_secret);
+          Alcotest.(check int) "pins" 2 (List.length b.Persist.pinned);
+          List.iter2
+            (fun (f1, k1) (f2, k2) ->
+              Alcotest.(check string) "friend" f1 f2;
+              Alcotest.(check bool) "key" true (Curve.equal k1 k2))
+            pinned b.Persist.pinned);
+    Alcotest.test_case "wrong passphrase is rejected" `Quick (fun () ->
+        let pr = p () in
+        let sk, pinned = sample_backup () in
+        let blob =
+          Persist.export_identity pr ~passphrase:"right" ~email:"alice@x" ~signing_secret:sk ~pinned
+        in
+        Alcotest.(check bool) "wrong" true
+          (Persist.import_identity pr ~passphrase:"wrong" blob = None));
+    Alcotest.test_case "tampered blob is rejected" `Quick (fun () ->
+        let pr = p () in
+        let sk, pinned = sample_backup () in
+        let blob =
+          Persist.export_identity pr ~passphrase:"pw" ~email:"alice@x" ~signing_secret:sk ~pinned
+        in
+        List.iter
+          (fun pos ->
+            let b = Bytes.of_string blob in
+            Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 1));
+            Alcotest.(check bool)
+              (Printf.sprintf "flip %d" pos)
+              true
+              (Persist.import_identity pr ~passphrase:"pw" (Bytes.to_string b) = None))
+          [ 0; 20; String.length blob - 1 ];
+        Alcotest.(check bool) "truncated" true
+          (Persist.import_identity pr ~passphrase:"pw" (String.sub blob 0 10) = None));
+    Alcotest.test_case "empty pin list works" `Quick (fun () ->
+        let pr = p () in
+        let sk, _ = sample_backup () in
+        let blob =
+          Persist.export_identity pr ~passphrase:"pw" ~email:"a@x" ~signing_secret:sk ~pinned:[]
+        in
+        match Persist.import_identity pr ~passphrase:"pw" blob with
+        | Some b -> Alcotest.(check int) "no pins" 0 (List.length b.Persist.pinned)
+        | None -> Alcotest.fail "import failed");
+    Alcotest.test_case "client export -> restore preserves identity and pins" `Quick (fun () ->
+        let d = Deployment.create ~config:Config.test ~seed:"persist-client" in
+        let alice = Deployment.new_client d ~email:"alice@x" ~callbacks:Client.null_callbacks in
+        let bob = Deployment.new_client d ~email:"bob@x" ~callbacks:Client.null_callbacks in
+        (match Deployment.register d alice with Ok () -> () | Error _ -> assert false);
+        (match Deployment.register d bob with Ok () -> () | Error _ -> assert false);
+        Client.add_friend alice ~email:"bob@x" ();
+        ignore (Deployment.run_addfriend_round d ());
+        ignore (Deployment.run_addfriend_round d ());
+        let blob = Client.export_backup alice ~passphrase:"pw" in
+        match Persist.import_identity (Deployment.params d) ~passphrase:"pw" blob with
+        | None -> Alcotest.fail "import failed"
+        | Some backup ->
+          let restored =
+            Client.create_from_backup ~config:Config.test
+              ~rng:(Drbg.create ~seed:"restored")
+              ~pkg_public_keys:(Deployment.pkg_public_keys d)
+              ~callbacks:Client.null_callbacks backup
+          in
+          Alcotest.(check string) "email" "alice@x" (Client.email restored);
+          Alcotest.(check bool) "same long-term key" true
+            (Curve.equal (Client.signing_public alice) (Client.signing_public restored));
+          (* bob's key survived the backup; the keywheel did not *)
+          Alcotest.(check bool) "pin restored" true
+            (match Client.pinned_key restored ~email:"bob@x" with
+             | Some k -> Curve.equal k (Client.signing_public bob)
+             | None -> false);
+          Alcotest.(check (list string)) "keywheel empty (forward secrecy)" []
+            (Client.friends restored));
+  ]
+
+let suite = unit_tests

@@ -1,0 +1,313 @@
+(* PKG server: registration, lockout policy, round lifecycle, extraction. *)
+
+module Params = Alpenhorn_pairing.Params
+module Pkg = Alpenhorn_pkg.Pkg
+module Bls = Alpenhorn_bls.Bls
+module Ibe = Alpenhorn_ibe.Ibe
+module Drbg = Alpenhorn_crypto.Drbg
+
+let params = lazy (Params.test ())
+let p () = Lazy.force params
+
+let day = 24 * 3600
+
+(* a PKG plus an inbox capturing the confirmation emails it sends *)
+let make_pkg ?lockout () =
+  let inbox = Hashtbl.create 8 in
+  let pkg =
+    Pkg.create (p ())
+      ~rng:(Drbg.create ~seed:"pkg-test")
+      ?lockout
+      ~send_email:(fun ~to_ ~token -> Hashtbl.replace inbox to_ token)
+      ()
+  in
+  (pkg, inbox)
+
+let token_for inbox email = Hashtbl.find inbox email
+
+let user_keypair seed = Bls.keygen (p ()) (Drbg.create ~seed)
+
+let register_ok pkg inbox ~now ~email ~pk =
+  (match Pkg.register pkg ~now ~email ~pk with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "register: %s" (Pkg.error_to_string e));
+  match Pkg.confirm pkg ~now ~email ~token:(token_for inbox email) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "confirm: %s" (Pkg.error_to_string e)
+
+let err = Alcotest.testable Pkg.pp_error ( = )
+
+let unit_tests =
+  [
+    Alcotest.test_case "register + confirm flow" `Quick (fun () ->
+        let pkg, inbox = make_pkg () in
+        let _, pk = user_keypair "u1" in
+        register_ok pkg inbox ~now:0 ~email:"alice@x" ~pk;
+        Alcotest.(check bool) "registered" true (Pkg.is_registered pkg ~email:"alice@x");
+        Alcotest.(check bool) "key locked" true
+          (match Pkg.registered_key pkg ~email:"alice@x" with
+           | Some k -> Alpenhorn_pairing.Curve.equal k pk
+           | None -> false));
+    Alcotest.test_case "confirm with wrong token fails" `Quick (fun () ->
+        let pkg, _ = make_pkg () in
+        let _, pk = user_keypair "u2" in
+        (match Pkg.register pkg ~now:0 ~email:"bob@x" ~pk with Ok () -> () | Error _ -> assert false);
+        Alcotest.(check (result unit err)) "bad token" (Error Pkg.Bad_token)
+          (Pkg.confirm pkg ~now:0 ~email:"bob@x" ~token:"wrong");
+        Alcotest.(check bool) "not active" false (Pkg.is_registered pkg ~email:"bob@x"));
+    Alcotest.test_case "cannot re-register an active fresh account" `Quick (fun () ->
+        (* an attacker controlling the email account cannot displace the key *)
+        let pkg, inbox = make_pkg () in
+        let _, pk = user_keypair "u3" in
+        register_ok pkg inbox ~now:0 ~email:"carol@x" ~pk;
+        let _, attacker_pk = user_keypair "attacker" in
+        Alcotest.(check (result unit err)) "locked" (Error Pkg.Already_registered)
+          (Pkg.register pkg ~now:day ~email:"carol@x" ~pk:attacker_pk));
+    Alcotest.test_case "30-day liveness lockout allows re-registration" `Quick (fun () ->
+        let pkg, inbox = make_pkg () in
+        let _, pk = user_keypair "u4" in
+        register_ok pkg inbox ~now:0 ~email:"dave@x" ~pk;
+        let _, new_pk = user_keypair "u4-new" in
+        (* 29 days of inactivity: still locked *)
+        Alcotest.(check (result unit err)) "29 days" (Error Pkg.Already_registered)
+          (Pkg.register pkg ~now:(29 * day) ~email:"dave@x" ~pk:new_pk);
+        (* 31 days: the stale account can be taken over by email validation *)
+        register_ok pkg inbox ~now:(31 * day) ~email:"dave@x" ~pk:new_pk;
+        Alcotest.(check bool) "new key" true
+          (match Pkg.registered_key pkg ~email:"dave@x" with
+           | Some k -> Alpenhorn_pairing.Curve.equal k new_pk
+           | None -> false));
+    Alcotest.test_case "extraction refreshes the liveness clock" `Quick (fun () ->
+        let pkg, inbox = make_pkg () in
+        let sk, pk = user_keypair "u5" in
+        register_ok pkg inbox ~now:0 ~email:"eve@x" ~pk;
+        (* user extracts at day 20, so day 35 is only 15 days idle *)
+        let _ = Pkg.begin_round pkg ~round:1 in
+        (match Pkg.reveal_round pkg ~round:1 with Ok _ -> () | Error _ -> assert false);
+        let signature =
+          Bls.sign (p ()) sk (Pkg.extraction_request_message ~email:"eve@x" ~round:1)
+        in
+        (match Pkg.extract pkg ~now:(20 * day) ~round:1 ~email:"eve@x" ~signature with
+         | Ok _ -> ()
+         | Error e -> Alcotest.failf "extract: %s" (Pkg.error_to_string e));
+        let _, squatter = user_keypair "squatter" in
+        Alcotest.(check (result unit err)) "day 35 still locked" (Error Pkg.Already_registered)
+          (Pkg.register pkg ~now:(35 * day) ~email:"eve@x" ~pk:squatter));
+    Alcotest.test_case "deregister requires a valid signature and locks out" `Quick (fun () ->
+        let pkg, inbox = make_pkg () in
+        let sk, pk = user_keypair "u6" in
+        register_ok pkg inbox ~now:0 ~email:"frank@x" ~pk;
+        let bad = Bls.sign (p ()) (fst (user_keypair "other")) "deregisterfrank@x" in
+        Alcotest.(check (result unit err)) "bad sig" (Error Pkg.Bad_signature)
+          (Pkg.deregister pkg ~now:0 ~email:"frank@x" ~signature:bad);
+        let good = Bls.sign (p ()) sk "deregisterfrank@x" in
+        (match Pkg.deregister pkg ~now:0 ~email:"frank@x" ~signature:good with
+         | Ok () -> ()
+         | Error e -> Alcotest.failf "deregister: %s" (Pkg.error_to_string e));
+        (* within the lockout window nobody can re-register (§9) *)
+        let _, pk2 = user_keypair "u6b" in
+        (match Pkg.register pkg ~now:day ~email:"frank@x" ~pk:pk2 with
+         | Error (Pkg.Locked_out remaining) ->
+           Alcotest.(check bool) "remaining sane" true (remaining > 0 && remaining <= 30 * day)
+         | _ -> Alcotest.fail "expected lockout");
+        (* after the window, registration reopens *)
+        register_ok pkg inbox ~now:(31 * day) ~email:"frank@x" ~pk:pk2);
+    Alcotest.test_case "extraction authentication" `Quick (fun () ->
+        let pkg, inbox = make_pkg () in
+        let _, pk = user_keypair "u7" in
+        register_ok pkg inbox ~now:0 ~email:"grace@x" ~pk;
+        let _ = Pkg.begin_round pkg ~round:1 in
+        (match Pkg.reveal_round pkg ~round:1 with Ok _ -> () | Error _ -> assert false);
+        let forged =
+          Bls.sign (p ()) (fst (user_keypair "mallory"))
+            (Pkg.extraction_request_message ~email:"grace@x" ~round:1)
+        in
+        (match Pkg.extract pkg ~now:0 ~round:1 ~email:"grace@x" ~signature:forged with
+         | Error Pkg.Bad_signature -> ()
+         | _ -> Alcotest.fail "forged extraction accepted");
+        (match Pkg.extract pkg ~now:0 ~round:1 ~email:"nobody@x" ~signature:forged with
+         | Error Pkg.Unknown_account -> ()
+         | _ -> Alcotest.fail "unknown account accepted"));
+    Alcotest.test_case "extraction needs the right round, revealed, unerased" `Quick (fun () ->
+        let pkg, inbox = make_pkg () in
+        let sk, pk = user_keypair "u8" in
+        register_ok pkg inbox ~now:0 ~email:"heidi@x" ~pk;
+        let sign round = Bls.sign (p ()) sk (Pkg.extraction_request_message ~email:"heidi@x" ~round) in
+        (match Pkg.extract pkg ~now:0 ~round:9 ~email:"heidi@x" ~signature:(sign 9) with
+         | Error Pkg.Wrong_round -> ()
+         | _ -> Alcotest.fail "nonexistent round accepted");
+        let _ = Pkg.begin_round pkg ~round:1 in
+        (match Pkg.extract pkg ~now:0 ~round:1 ~email:"heidi@x" ~signature:(sign 1) with
+         | Error Pkg.Not_revealed -> ()
+         | _ -> Alcotest.fail "unrevealed round accepted");
+        (match Pkg.reveal_round pkg ~round:1 with Ok _ -> () | Error _ -> assert false);
+        (match Pkg.extract pkg ~now:0 ~round:1 ~email:"heidi@x" ~signature:(sign 1) with
+         | Ok _ -> ()
+         | Error e -> Alcotest.failf "extract: %s" (Pkg.error_to_string e));
+        (* end_round erases the master secret: no more extraction (§4.4) *)
+        Pkg.end_round pkg ~round:1;
+        (match Pkg.extract pkg ~now:0 ~round:1 ~email:"heidi@x" ~signature:(sign 1) with
+         | Error Pkg.Wrong_round -> ()
+         | _ -> Alcotest.fail "erased round still extracts"));
+    Alcotest.test_case "commit-reveal binds the master public key" `Quick (fun () ->
+        let pkg, _ = make_pkg () in
+        let commitment = Pkg.begin_round pkg ~round:1 in
+        match Pkg.reveal_round pkg ~round:1 with
+        | Error _ -> Alcotest.fail "reveal failed"
+        | Ok (mpk, opening) ->
+          Alcotest.(check bool) "opens" true
+            (Pkg.verify_commitment (p ()) ~commitment ~mpk ~opening);
+          Alcotest.(check bool) "wrong opening" false
+            (Pkg.verify_commitment (p ()) ~commitment ~mpk ~opening:(String.make 32 'x'));
+          (* a different round's mpk does not open this commitment *)
+          let _ = Pkg.begin_round pkg ~round:2 in
+          (match Pkg.reveal_round pkg ~round:2 with
+           | Ok (mpk2, _) ->
+             Alcotest.(check bool) "wrong mpk" false
+               (Pkg.verify_commitment (p ()) ~commitment ~mpk:mpk2 ~opening)
+           | Error _ -> Alcotest.fail "round 2 reveal"));
+    Alcotest.test_case "extracted keys decrypt; attestation verifies" `Quick (fun () ->
+        let pkg, inbox = make_pkg () in
+        let sk, pk = user_keypair "u9" in
+        register_ok pkg inbox ~now:0 ~email:"ivan@x" ~pk;
+        let _ = Pkg.begin_round pkg ~round:1 in
+        (match Pkg.reveal_round pkg ~round:1 with Ok _ -> () | Error _ -> assert false);
+        let signature = Bls.sign (p ()) sk (Pkg.extraction_request_message ~email:"ivan@x" ~round:1) in
+        match Pkg.extract pkg ~now:0 ~round:1 ~email:"ivan@x" ~signature with
+        | Error e -> Alcotest.failf "extract: %s" (Pkg.error_to_string e)
+        | Ok (d_id, att) ->
+          let mpk = Option.get (Pkg.master_public pkg ~round:1) in
+          let rng = Drbg.create ~seed:"pkg-enc" in
+          let ctxt = Ibe.encrypt (p ()) rng mpk ~id:"ivan@x" "for ivan" in
+          Alcotest.(check (option string)) "decrypts" (Some "for ivan")
+            (Ibe.decrypt (p ()) d_id ctxt);
+          let msg =
+            Pkg.attestation_message ~email:"ivan@x" ~pk_bytes:(Bls.public_bytes (p ()) pk) ~round:1
+          in
+          Alcotest.(check bool) "attestation" true
+            (Bls.verify (p ()) (Pkg.long_term_public pkg) msg att));
+    Alcotest.test_case "pending registration can restart with a fresh token" `Quick (fun () ->
+        let pkg, inbox = make_pkg () in
+        let _, pk = user_keypair "u10" in
+        (match Pkg.register pkg ~now:0 ~email:"judy@x" ~pk with Ok () -> () | Error _ -> assert false);
+        let t1 = token_for inbox "judy@x" in
+        (match Pkg.register pkg ~now:0 ~email:"judy@x" ~pk with Ok () -> () | Error _ -> assert false);
+        let t2 = token_for inbox "judy@x" in
+        Alcotest.(check bool) "fresh token" false (t1 = t2);
+        (* the stale token no longer works *)
+        Alcotest.(check (result unit err)) "old token dead" (Error Pkg.Bad_token)
+          (Pkg.confirm pkg ~now:0 ~email:"judy@x" ~token:t1);
+        (match Pkg.confirm pkg ~now:0 ~email:"judy@x" ~token:t2 with
+         | Ok () -> ()
+         | Error e -> Alcotest.failf "confirm: %s" (Pkg.error_to_string e)));
+  ]
+
+let suite = unit_tests
+
+(* second batch: error formatting and account introspection *)
+let more_tests =
+  [
+    Alcotest.test_case "error messages are distinct and readable" `Quick (fun () ->
+        let msgs =
+          List.map Pkg.error_to_string
+            [ Pkg.Unknown_account; Pkg.Not_confirmed; Pkg.Already_registered; Pkg.Bad_token;
+              Pkg.Bad_signature; Pkg.Locked_out 60; Pkg.Wrong_round; Pkg.Not_revealed ]
+        in
+        Alcotest.(check int) "all distinct" (List.length msgs)
+          (List.length (List.sort_uniq compare msgs));
+        List.iter (fun m -> Alcotest.(check bool) m true (String.length m > 3)) msgs);
+    Alcotest.test_case "registered_key and is_registered track state" `Quick (fun () ->
+        let pkg, inbox = make_pkg () in
+        Alcotest.(check bool) "unknown" false (Pkg.is_registered pkg ~email:"x@y");
+        Alcotest.(check bool) "no key" true (Pkg.registered_key pkg ~email:"x@y" = None);
+        let _, pk = user_keypair "intro" in
+        register_ok pkg inbox ~now:0 ~email:"x@y" ~pk;
+        Alcotest.(check bool) "registered" true (Pkg.is_registered pkg ~email:"x@y"));
+    Alcotest.test_case "master_public hidden until reveal" `Quick (fun () ->
+        let pkg, _ = make_pkg () in
+        let _ = Pkg.begin_round pkg ~round:5 in
+        Alcotest.(check bool) "hidden" true (Pkg.master_public pkg ~round:5 = None);
+        (match Pkg.reveal_round pkg ~round:5 with Ok _ -> () | Error _ -> assert false);
+        Alcotest.(check bool) "visible" true (Pkg.master_public pkg ~round:5 <> None);
+        Alcotest.(check bool) "other round hidden" true (Pkg.master_public pkg ~round:6 = None));
+  ]
+
+let suite = suite @ more_tests
+
+(* DKIM single-email registration (§4.6 footnote 4) *)
+let dkim_tests =
+  [
+    Alcotest.test_case "dkim registration activates immediately" `Quick (fun () ->
+        let pkg, _ = make_pkg () in
+        let provider_sk, provider_pk = user_keypair "provider-gmail" in
+        Pkg.trust_provider pkg ~domain:"gmail.com" ~key:provider_pk;
+        let _, pk = user_keypair "dkim-user" in
+        let msg = Pkg.dkim_message ~email:"alice@gmail.com" ~pk_bytes:(Bls.public_bytes (p ()) pk) in
+        let signature = Bls.sign (p ()) provider_sk msg in
+        (match Pkg.register_dkim pkg ~now:0 ~email:"alice@gmail.com" ~pk ~signature with
+         | Ok () -> ()
+         | Error e -> Alcotest.failf "register_dkim: %s" (Pkg.error_to_string e));
+        Alcotest.(check bool) "active without confirm" true
+          (Pkg.is_registered pkg ~email:"alice@gmail.com"));
+    Alcotest.test_case "dkim from an untrusted domain is rejected" `Quick (fun () ->
+        let pkg, _ = make_pkg () in
+        let provider_sk, _ = user_keypair "provider-evil" in
+        let _, pk = user_keypair "dkim-user2" in
+        let msg = Pkg.dkim_message ~email:"bob@evil.com" ~pk_bytes:(Bls.public_bytes (p ()) pk) in
+        let signature = Bls.sign (p ()) provider_sk msg in
+        (match Pkg.register_dkim pkg ~now:0 ~email:"bob@evil.com" ~pk ~signature with
+         | Error Pkg.Unknown_provider -> ()
+         | _ -> Alcotest.fail "untrusted provider accepted");
+        (* malformed addresses have no domain *)
+        (match Pkg.register_dkim pkg ~now:0 ~email:"nodomain" ~pk ~signature with
+         | Error Pkg.Unknown_provider -> ()
+         | _ -> Alcotest.fail "domainless accepted"));
+    Alcotest.test_case "dkim with a forged provider signature is rejected" `Quick (fun () ->
+        let pkg, _ = make_pkg () in
+        let _, provider_pk = user_keypair "provider-real" in
+        Pkg.trust_provider pkg ~domain:"mail.org" ~key:provider_pk;
+        let forger_sk, _ = user_keypair "forger" in
+        let _, pk = user_keypair "dkim-user3" in
+        let msg = Pkg.dkim_message ~email:"carol@mail.org" ~pk_bytes:(Bls.public_bytes (p ()) pk) in
+        let signature = Bls.sign (p ()) forger_sk msg in
+        (match Pkg.register_dkim pkg ~now:0 ~email:"carol@mail.org" ~pk ~signature with
+         | Error Pkg.Bad_signature -> ()
+         | _ -> Alcotest.fail "forged DKIM accepted"));
+    Alcotest.test_case "dkim respects the lockout rules" `Quick (fun () ->
+        (* even a valid DKIM registration cannot displace a fresh account:
+           the provider (possibly compromised, §4.6) must not override the
+           key binding *)
+        let pkg, inbox = make_pkg () in
+        let provider_sk, provider_pk = user_keypair "provider-x" in
+        Pkg.trust_provider pkg ~domain:"x.io" ~key:provider_pk;
+        let _, pk1 = user_keypair "orig" in
+        register_ok pkg inbox ~now:0 ~email:"dana@x.io" ~pk:pk1;
+        let _, pk2 = user_keypair "takeover" in
+        let msg = Pkg.dkim_message ~email:"dana@x.io" ~pk_bytes:(Bls.public_bytes (p ()) pk2) in
+        let signature = Bls.sign (p ()) provider_sk msg in
+        (match Pkg.register_dkim pkg ~now:day ~email:"dana@x.io" ~pk:pk2 ~signature with
+         | Error Pkg.Already_registered -> ()
+         | _ -> Alcotest.fail "DKIM displaced a live account");
+        (* after 31 idle days the same message succeeds, per the §4.6 policy *)
+        (match Pkg.register_dkim pkg ~now:(31 * day) ~email:"dana@x.io" ~pk:pk2 ~signature with
+         | Ok () -> ()
+         | Error e -> Alcotest.failf "stale takeover: %s" (Pkg.error_to_string e)));
+    Alcotest.test_case "dkim-registered accounts extract keys normally" `Quick (fun () ->
+        let pkg, _ = make_pkg () in
+        let provider_sk, provider_pk = user_keypair "provider-y" in
+        Pkg.trust_provider pkg ~domain:"y.io" ~key:provider_pk;
+        let sk, pk = user_keypair "dkim-extract" in
+        let msg = Pkg.dkim_message ~email:"erin@y.io" ~pk_bytes:(Bls.public_bytes (p ()) pk) in
+        (match Pkg.register_dkim pkg ~now:0 ~email:"erin@y.io" ~pk
+                 ~signature:(Bls.sign (p ()) provider_sk msg) with
+         | Ok () -> ()
+         | Error e -> Alcotest.failf "register: %s" (Pkg.error_to_string e));
+        let _ = Pkg.begin_round pkg ~round:1 in
+        (match Pkg.reveal_round pkg ~round:1 with Ok _ -> () | Error _ -> assert false);
+        let signature = Bls.sign (p ()) sk (Pkg.extraction_request_message ~email:"erin@y.io" ~round:1) in
+        match Pkg.extract pkg ~now:0 ~round:1 ~email:"erin@y.io" ~signature with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "extract: %s" (Pkg.error_to_string e));
+  ]
+
+let suite = suite @ dkim_tests

@@ -1,0 +1,55 @@
+(* Differential-privacy accounting (§8.1's noise configuration). *)
+
+module Privacy = Alpenhorn_sim.Privacy
+
+let unit_tests =
+  [
+    Alcotest.test_case "single-action epsilon" `Quick (fun () ->
+        Alcotest.(check (float 1e-12)) "1/406" (1.0 /. 406.0)
+          (Privacy.epsilon_single ~sensitivity:1.0 ~b:406.0);
+        Alcotest.check_raises "bad scale" (Invalid_argument "Privacy.epsilon_single: b") (fun () ->
+            ignore (Privacy.epsilon_single ~sensitivity:1.0 ~b:0.0)));
+    Alcotest.test_case "basic composition is linear" `Quick (fun () ->
+        Alcotest.(check (float 1e-12)) "k*eps" 0.5 (Privacy.compose_basic ~epsilon0:0.05 ~k:10));
+    Alcotest.test_case "advanced composition beats basic for many actions" `Quick (fun () ->
+        let epsilon0 = 1.0 /. 406.0 in
+        let adv = Privacy.compose_advanced ~epsilon0 ~k:900 ~delta:1e-4 in
+        let basic = Privacy.compose_basic ~epsilon0 ~k:900 in
+        Alcotest.(check bool) "advanced smaller" true (adv < basic);
+        Alcotest.(check bool) "advanced positive" true (adv > 0.0));
+    Alcotest.test_case "paper budgets hold (ln 2, 1e-4)" `Quick (fun () ->
+        (* §8.1: b=406 gives (ln2, 1e-4)-DP for 900 add-friend requests;
+           b=2183 gives the same for 26,000 calls *)
+        Alcotest.(check bool) "add-friend" true (Privacy.verify Privacy.paper_addfriend);
+        Alcotest.(check bool) "dialing" true (Privacy.verify Privacy.paper_dialing));
+    Alcotest.test_case "paper budgets are not wildly loose" `Quick (fun () ->
+        (* the claimed action counts should be within ~10x of what the
+           composition bound allows — the paper picked them to fit *)
+        let check (pb : Privacy.protocol_budget) =
+          let epsilon0 = Privacy.epsilon_single ~sensitivity:pb.Privacy.sensitivity ~b:pb.Privacy.b in
+          let cap = Privacy.max_actions ~epsilon0 ~delta:pb.Privacy.delta ~budget:pb.Privacy.epsilon_total in
+          Alcotest.(check bool) "within 10x" true (cap < 10 * pb.Privacy.actions && cap >= pb.Privacy.actions)
+        in
+        check Privacy.paper_addfriend;
+        check Privacy.paper_dialing);
+    Alcotest.test_case "max_actions is the inverse of compose_advanced" `Quick (fun () ->
+        let epsilon0 = 0.01 and delta = 1e-4 and budget = 0.5 in
+        let k = Privacy.max_actions ~epsilon0 ~delta ~budget in
+        Alcotest.(check bool) "k fits" true (Privacy.compose_advanced ~epsilon0 ~k ~delta <= budget);
+        Alcotest.(check bool) "k+1 does not" true
+          (Privacy.compose_advanced ~epsilon0 ~k:(k + 1) ~delta > budget));
+    Alcotest.test_case "max_actions edge cases" `Quick (fun () ->
+        Alcotest.(check int) "huge epsilon0" 0
+          (Privacy.max_actions ~epsilon0:100.0 ~delta:1e-4 ~budget:0.1);
+        Alcotest.(check bool) "tiny epsilon0 allows many" true
+          (Privacy.max_actions ~epsilon0:1e-6 ~delta:1e-4 ~budget:1.0 > 1_000_000));
+    Alcotest.test_case "more noise allows more actions" `Quick (fun () ->
+        let cap b =
+          Privacy.max_actions
+            ~epsilon0:(Privacy.epsilon_single ~sensitivity:1.0 ~b)
+            ~delta:1e-4 ~budget:(log 2.0)
+        in
+        Alcotest.(check bool) "monotone in b" true (cap 2183.0 > cap 406.0 && cap 406.0 > cap 100.0));
+  ]
+
+let suite = unit_tests

@@ -1,0 +1,148 @@
+(* Blind signatures and the §9 rate-limiting gate. *)
+
+module B = Alpenhorn_bigint.Bigint
+module Curve = Alpenhorn_pairing.Curve
+module Params = Alpenhorn_pairing.Params
+module Bls = Alpenhorn_bls.Bls
+module Blind = Alpenhorn_bls.Blind
+module Ratelimit = Alpenhorn_mixnet.Ratelimit
+module Drbg = Alpenhorn_crypto.Drbg
+
+let params = lazy (Params.test ())
+let p () = Lazy.force params
+
+let unit_tests =
+  [
+    Alcotest.test_case "blind-sign-unblind verifies" `Quick (fun () ->
+        let pr = p () in
+        let rng = Drbg.create ~seed:"blind1" in
+        let sk, pk = Bls.keygen pr rng in
+        let blinded, r = Blind.blind pr rng ~msg:"serial-123" in
+        let signed = Blind.sign_blinded pr sk blinded in
+        let signature = Blind.unblind pr pk ~signed r in
+        Alcotest.(check bool) "verifies" true (Blind.verify pr pk ~msg:"serial-123" signature);
+        Alcotest.(check bool) "wrong msg" false (Blind.verify pr pk ~msg:"serial-124" signature));
+    Alcotest.test_case "signer never sees the message point" `Quick (fun () ->
+        let pr = p () in
+        let rng = Drbg.create ~seed:"blind2" in
+        let blinded1, _ = Blind.blind pr rng ~msg:"same" in
+        let blinded2, _ = Blind.blind pr rng ~msg:"same" in
+        (* fresh blinding factors make repeated requests unlinkable *)
+        Alcotest.(check bool) "different blindings" false (Curve.equal blinded1 blinded2));
+    Alcotest.test_case "domain separation from ordinary BLS" `Quick (fun () ->
+        let pr = p () in
+        let rng = Drbg.create ~seed:"blind3" in
+        let sk, pk = Bls.keygen pr rng in
+        (* a blind-domain signature must not verify as an ordinary BLS
+           signature on the same string, and vice versa *)
+        let blinded, r = Blind.blind pr rng ~msg:"m" in
+        let blind_sig = Blind.unblind pr pk ~signed:(Blind.sign_blinded pr sk blinded) r in
+        Alcotest.(check bool) "not plain-valid" false (Bls.verify pr pk "m" blind_sig);
+        let plain_sig = Bls.sign pr sk "m" in
+        Alcotest.(check bool) "plain not blind-valid" false (Blind.verify pr pk ~msg:"m" plain_sig));
+    Alcotest.test_case "unblinding with the wrong factor fails" `Quick (fun () ->
+        let pr = p () in
+        let rng = Drbg.create ~seed:"blind4" in
+        let sk, pk = Bls.keygen pr rng in
+        let blinded, _ = Blind.blind pr rng ~msg:"m" in
+        let signed = Blind.sign_blinded pr sk blinded in
+        let bad = Blind.unblind pr pk ~signed (B.of_int 12345) in
+        Alcotest.(check bool) "invalid" false (Blind.verify pr pk ~msg:"m" bad));
+    Alcotest.test_case "gate admits a valid token exactly once" `Quick (fun () ->
+        let pr = p () in
+        let rng = Drbg.create ~seed:"gate1" in
+        let issuer = Ratelimit.create_issuer pr ~rng ~quota_per_day:5 in
+        let gate = Ratelimit.create_gate pr ~issuer_key:(Ratelimit.issuer_public issuer) in
+        let serial = Ratelimit.fresh_serial rng in
+        let blinded, r = Blind.blind pr rng ~msg:serial in
+        let signed =
+          match Ratelimit.issue issuer ~now:0 ~user:"alice@x" blinded with
+          | Ok s -> s
+          | Error `Quota_exhausted -> Alcotest.fail "quota"
+        in
+        let signature = Blind.unblind pr (Ratelimit.issuer_public issuer) ~signed r in
+        let token = { Ratelimit.serial; signature } in
+        (match Ratelimit.admit gate token with Ok () -> () | Error _ -> Alcotest.fail "rejected");
+        Alcotest.(check int) "spent" 1 (Ratelimit.spent_count gate);
+        (match Ratelimit.admit gate token with
+         | Error `Double_spend -> ()
+         | _ -> Alcotest.fail "double spend accepted"));
+    Alcotest.test_case "gate rejects forged tokens" `Quick (fun () ->
+        let pr = p () in
+        let rng = Drbg.create ~seed:"gate2" in
+        let issuer = Ratelimit.create_issuer pr ~rng ~quota_per_day:5 in
+        let gate = Ratelimit.create_gate pr ~issuer_key:(Ratelimit.issuer_public issuer) in
+        let forger_sk, _ = Bls.keygen pr rng in
+        let serial = Ratelimit.fresh_serial rng in
+        let blinded, r = Blind.blind pr rng ~msg:serial in
+        let forged =
+          Blind.unblind pr
+            (Bls.public_of_secret pr forger_sk)
+            ~signed:(Blind.sign_blinded pr forger_sk blinded)
+            r
+        in
+        (match Ratelimit.admit gate { Ratelimit.serial; signature = forged } with
+         | Error `Bad_signature -> ()
+         | _ -> Alcotest.fail "forged token accepted"));
+    Alcotest.test_case "daily quota is enforced and resets" `Quick (fun () ->
+        let pr = p () in
+        let rng = Drbg.create ~seed:"gate3" in
+        let issuer = Ratelimit.create_issuer pr ~rng ~quota_per_day:2 in
+        let get now =
+          let blinded, _ = Blind.blind pr rng ~msg:(Ratelimit.fresh_serial rng) in
+          Ratelimit.issue issuer ~now ~user:"alice@x" blinded
+        in
+        Alcotest.(check bool) "1st ok" true (Result.is_ok (get 0));
+        Alcotest.(check bool) "2nd ok" true (Result.is_ok (get 0));
+        (match get 0 with
+         | Error `Quota_exhausted -> ()
+         | Ok _ -> Alcotest.fail "quota not enforced");
+        (* other users are unaffected *)
+        let blinded, _ = Blind.blind pr rng ~msg:(Ratelimit.fresh_serial rng) in
+        Alcotest.(check bool) "other user ok" true
+          (Result.is_ok (Ratelimit.issue issuer ~now:0 ~user:"bob@x" blinded));
+        (* next day the quota resets *)
+        Alcotest.(check bool) "next day ok" true (Result.is_ok (get 86_400)));
+    Alcotest.test_case "token wire format roundtrips" `Quick (fun () ->
+        let pr = p () in
+        let rng = Drbg.create ~seed:"gate4" in
+        let sk, pk = Bls.keygen pr rng in
+        let serial = Ratelimit.fresh_serial rng in
+        let blinded, r = Blind.blind pr rng ~msg:serial in
+        let signature = Blind.unblind pr pk ~signed:(Blind.sign_blinded pr sk blinded) r in
+        let token = { Ratelimit.serial; signature } in
+        let bytes = Ratelimit.token_bytes pr token in
+        Alcotest.(check int) "size" (Ratelimit.token_size pr) (String.length bytes);
+        (match Ratelimit.token_of_bytes pr bytes with
+         | Some t2 ->
+           Alcotest.(check string) "serial" serial t2.Ratelimit.serial;
+           Alcotest.(check bool) "sig" true (Curve.equal signature t2.Ratelimit.signature)
+         | None -> Alcotest.fail "decode failed");
+        Alcotest.(check bool) "garbage rejected" true (Ratelimit.token_of_bytes pr "short" = None));
+    Alcotest.test_case "full flow: blind issuance cannot be linked but gates spam" `Quick
+      (fun () ->
+        let pr = p () in
+        let rng = Drbg.create ~seed:"gate5" in
+        let issuer = Ratelimit.create_issuer pr ~rng ~quota_per_day:3 in
+        let gate = Ratelimit.create_gate pr ~issuer_key:(Ratelimit.issuer_public issuer) in
+        (* a legitimate user spends all three tokens *)
+        for _ = 1 to 3 do
+          let serial = Ratelimit.fresh_serial rng in
+          let blinded, r = Blind.blind pr rng ~msg:serial in
+          match Ratelimit.issue issuer ~now:0 ~user:"alice@x" blinded with
+          | Error `Quota_exhausted -> Alcotest.fail "quota too small"
+          | Ok signed ->
+            let signature = Blind.unblind pr (Ratelimit.issuer_public issuer) ~signed r in
+            (match Ratelimit.admit gate { Ratelimit.serial; signature } with
+             | Ok () -> ()
+             | Error _ -> Alcotest.fail "legit token rejected")
+        done;
+        (* the fourth submission has no token to back it *)
+        let blinded, _ = Blind.blind pr rng ~msg:(Ratelimit.fresh_serial rng) in
+        (match Ratelimit.issue issuer ~now:0 ~user:"alice@x" blinded with
+         | Error `Quota_exhausted -> ()
+         | Ok _ -> Alcotest.fail "spam not limited");
+        Alcotest.(check int) "exactly 3 spent" 3 (Ratelimit.spent_count gate));
+  ]
+
+let suite = unit_tests

@@ -1,0 +1,343 @@
+(* Simulation substrate: Zipf sampling, statistics, workloads, cost model. *)
+
+module Zipf = Alpenhorn_sim.Zipf
+module Stats = Alpenhorn_sim.Stats
+module Workload = Alpenhorn_sim.Workload
+module Costmodel = Alpenhorn_sim.Costmodel
+module Drbg = Alpenhorn_crypto.Drbg
+
+let params = lazy (Alpenhorn_pairing.Params.test ())
+
+let unit_tests =
+  [
+    Alcotest.test_case "zipf s=2 top-10 share matches the paper" `Quick (fun () ->
+        (* §8.4: at s = 2 with 1M users, the top 10 receive 94.2% *)
+        let z = Zipf.create ~n:1_000_000 ~s:2.0 in
+        let share = Zipf.top_share z 10 in
+        Alcotest.(check bool) "94.2% ± 0.5" true (Float.abs (share -. 0.942) < 0.005));
+    Alcotest.test_case "zipf s=0 is uniform" `Quick (fun () ->
+        let z = Zipf.create ~n:100 ~s:0.0 in
+        Alcotest.(check bool) "pmf flat" true (Float.abs (Zipf.pmf z 1 -. Zipf.pmf z 100) < 1e-12);
+        Alcotest.(check bool) "top 10 = 10%" true (Float.abs (Zipf.top_share z 10 -. 0.1) < 1e-9));
+    Alcotest.test_case "zipf samples in range with correct skew" `Quick (fun () ->
+        let z = Zipf.create ~n:1000 ~s:1.5 in
+        let rng = Drbg.create ~seed:"zipf" in
+        let ones = ref 0 in
+        for _ = 1 to 10_000 do
+          let v = Zipf.sample z rng in
+          Alcotest.(check bool) "range" true (v >= 1 && v <= 1000);
+          if v = 1 then incr ones
+        done;
+        let expected = Zipf.pmf z 1 *. 10_000.0 in
+        Alcotest.(check bool) "rank-1 frequency plausible" true
+          (Float.abs (float_of_int !ones -. expected) < 5.0 *. sqrt expected));
+    Alcotest.test_case "stats basics" `Quick (fun () ->
+        let xs = [| 5.0; 1.0; 3.0; 2.0; 4.0 |] in
+        Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.min xs);
+        Alcotest.(check (float 1e-9)) "max" 5.0 (Stats.max xs);
+        Alcotest.(check (float 1e-9)) "mean" 3.0 (Stats.mean xs);
+        Alcotest.(check (float 1e-9)) "median" 3.0 (Stats.median xs);
+        Alcotest.(check (float 1e-9)) "p0" 1.0 (Stats.percentile xs 0.0);
+        Alcotest.(check (float 1e-9)) "p100" 5.0 (Stats.percentile xs 100.0);
+        Alcotest.check_raises "empty" (Invalid_argument "Stats: empty") (fun () ->
+            ignore (Stats.mean [||])));
+    Alcotest.test_case "weighted percentile" `Quick (fun () ->
+        let pairs = [| (1.0, 1.0); (10.0, 99.0) |] in
+        Alcotest.(check (float 1e-9)) "p50 dominated by weight" 10.0
+          (Stats.weighted_percentile pairs 50.0));
+    Alcotest.test_case "workload conserves request counts" `Quick (fun () ->
+        let spec =
+          {
+            Workload.n_users = 100_000;
+            active_fraction = 0.05;
+            recipient_skew = 0.0;
+            noise_mu = 400.0;
+            laplace_b = 0.0;
+            chain_length = 3;
+          }
+        in
+        let rng = Drbg.create ~seed:"wl" in
+        let load = Workload.generate spec rng in
+        Alcotest.(check int) "real total" (Workload.active_count spec)
+          (Array.fold_left ( + ) 0 load.Workload.real);
+        Alcotest.(check int) "mailboxes" (Workload.num_mailboxes spec)
+          (Array.length load.Workload.real);
+        (* b = 0 noise is exactly mu per server per mailbox *)
+        Array.iter
+          (fun n -> Alcotest.(check int) "noise per mailbox" 1200 n)
+          load.Workload.noise);
+    Alcotest.test_case "skewed workload concentrates but noise floors it" `Quick (fun () ->
+        let mk skew =
+          let spec =
+            {
+              Workload.n_users = 1_000_000;
+              active_fraction = 0.05;
+              recipient_skew = skew;
+              noise_mu = 4000.0;
+              laplace_b = 0.0;
+              chain_length = 3;
+            }
+          in
+          let rng = Drbg.create ~seed:"skew" in
+          Workload.generate spec rng
+        in
+        let uniform = mk 0.0 and skewed = mk 2.0 in
+        let spread load =
+          let totals = Array.map float_of_int (Workload.total load) in
+          Stats.max totals -. Stats.min totals
+        in
+        Alcotest.(check bool) "skew widens the spread" true (spread skewed > spread uniform));
+    Alcotest.test_case "paper calibration hits the headline numbers" `Quick (fun () ->
+        let pr = Lazy.force params in
+        let pc = Costmodel.protocol_costs pr in
+        let m = Costmodel.paper_machine in
+        let af =
+          Costmodel.addfriend_round m pc ~n_users:10_000_000 ~n_servers:3 ~noise_mu:4000.0
+            ~active_fraction:0.05 ()
+        in
+        (* paper: 152 s; our calibrated model must land within 15% *)
+        Alcotest.(check bool) "addfriend 10M/3srv ~152s" true
+          (Float.abs (af.Costmodel.total_seconds -. 152.0) /. 152.0 < 0.15);
+        let dial =
+          Costmodel.dialing_round m pc ~n_users:10_000_000 ~n_servers:3 ~noise_mu:25000.0
+            ~active_fraction:0.05 ~friends:1000 ~intents:10 ()
+        in
+        (* paper: 118 s *)
+        Alcotest.(check bool) "dialing 10M/3srv ~118s" true
+          (Float.abs (dial.Costmodel.total_seconds -. 118.0) /. 118.0 < 0.15);
+        (* paper: 3 KB/s for dialing at 5-minute rounds with 10M users *)
+        let bw =
+          Costmodel.dialing_bandwidth pc ~n_users:10_000_000 ~n_servers:3 ~noise_mu:25000.0
+            ~active_fraction:0.05 ~round_seconds:300.0
+        in
+        Alcotest.(check bool) "3 KB/s dialing" true (Float.abs ((bw /. 1000.0) -. 3.0) < 0.5));
+    Alcotest.test_case "latency grows with users and with servers (Fig 8/9 shape)" `Quick
+      (fun () ->
+        let pr = Lazy.force params in
+        let pc = Costmodel.protocol_costs pr in
+        let m = Costmodel.paper_machine in
+        let lat users servers =
+          (Costmodel.addfriend_round m pc ~n_users:users ~n_servers:servers ~noise_mu:4000.0
+             ~active_fraction:0.05 ())
+            .Costmodel.total_seconds
+        in
+        Alcotest.(check bool) "more users slower" true (lat 1_000_000 3 > lat 100_000 3);
+        Alcotest.(check bool) "more servers slower" true (lat 1_000_000 10 > lat 1_000_000 3);
+        Alcotest.(check bool) "5 between 3 and 10" true
+          (lat 1_000_000 5 > lat 1_000_000 3 && lat 1_000_000 5 < lat 1_000_000 10));
+    Alcotest.test_case "bandwidth decreases with round duration (Fig 6/7 shape)" `Quick (fun () ->
+        let pr = Lazy.force params in
+        let pc = Costmodel.protocol_costs pr in
+        let bw secs =
+          Costmodel.addfriend_bandwidth pc ~n_users:1_000_000 ~n_servers:3 ~noise_mu:4000.0
+            ~active_fraction:0.05 ~round_seconds:secs
+        in
+        Alcotest.(check bool) "monotone" true (bw 3600.0 > bw 7200.0 && bw 7200.0 > bw 86400.0);
+        (* mailbox size stays ~constant as users grow (the K policy):
+           per-user bandwidth at 1M vs 10M within 25% *)
+        let bw10 =
+          Costmodel.addfriend_bandwidth pc ~n_users:10_000_000 ~n_servers:3 ~noise_mu:4000.0
+            ~active_fraction:0.05 ~round_seconds:3600.0
+        in
+        Alcotest.(check bool) "mailbox size plateaus" true
+          (Float.abs (bw10 -. bw 3600.0) /. bw 3600.0 < 0.25));
+    Alcotest.test_case "local calibration measures sane values" `Quick (fun () ->
+        let pr = Lazy.force params in
+        let m = Costmodel.measure_local pr in
+        Alcotest.(check bool) "ibe decrypt positive" true (m.Costmodel.t_ibe_decrypt > 0.0);
+        Alcotest.(check bool) "unwrap positive" true (m.Costmodel.t_unwrap > 0.0);
+        Alcotest.(check bool) "token under 1ms" true (m.Costmodel.t_token < 1e-3);
+        Alcotest.(check bool) "ibe slower than token hash" true
+          (m.Costmodel.t_ibe_decrypt > m.Costmodel.t_token));
+  ]
+
+let suite = unit_tests
+
+(* second batch: histogram, noisy workloads, cost-model internals *)
+let more_tests =
+  [
+    Alcotest.test_case "histogram covers the range" `Quick (fun () ->
+        let xs = Array.init 100 float_of_int in
+        let h = Stats.histogram xs ~buckets:10 in
+        Alcotest.(check int) "buckets" 10 (Array.length h);
+        Alcotest.(check int) "total count" 100 (Array.fold_left (fun a (_, c) -> a + c) 0 h);
+        Alcotest.(check (float 1e-9)) "first lower bound" 0.0 (fst h.(0)));
+    Alcotest.test_case "histogram of constant data" `Quick (fun () ->
+        let h = Stats.histogram [| 5.0; 5.0; 5.0 |] ~buckets:4 in
+        Alcotest.(check int) "all in one bucket" 3
+          (Array.fold_left (fun a (_, c) -> Stdlib.max a c) 0 h));
+    Alcotest.test_case "workload with laplace noise varies but stays plausible" `Quick (fun () ->
+        let spec =
+          {
+            Workload.n_users = 10_000;
+            active_fraction = 0.05;
+            recipient_skew = 0.0;
+            noise_mu = 100.0;
+            laplace_b = 10.0;
+            chain_length = 3;
+          }
+        in
+        let rng = Drbg.create ~seed:"wl-noise" in
+        let load = Workload.generate spec rng in
+        Array.iter
+          (fun noise ->
+            Alcotest.(check bool) "non-negative" true (noise >= 0);
+            (* 3 servers x Laplace(100, 10): extremely unlikely outside [150, 450] *)
+            Alcotest.(check bool) "plausible range" true (noise > 150 && noise < 450))
+          load.Workload.noise);
+    Alcotest.test_case "cost-model breakdown fields are coherent" `Quick (fun () ->
+        let pr = Lazy.force params in
+        let pc = Costmodel.protocol_costs pr in
+        let m = Costmodel.paper_machine in
+        let b =
+          Costmodel.addfriend_round m pc ~n_users:1_000_000 ~n_servers:3 ~noise_mu:4000.0
+            ~active_fraction:0.05 ()
+        in
+        Alcotest.(check int) "one entry per server" 3 (Array.length b.Costmodel.server_seconds);
+        let parts =
+          Array.fold_left ( +. ) 0.0 b.Costmodel.server_seconds
+          +. b.Costmodel.download_seconds +. b.Costmodel.scan_seconds
+        in
+        Alcotest.(check (float 1e-6)) "total = sum of parts" b.Costmodel.total_seconds parts;
+        Alcotest.(check bool) "uplink is small" true (b.Costmodel.uplink_bytes < 1000);
+        Alcotest.(check bool) "mailbox override grows latency" true
+          ((Costmodel.addfriend_round m pc ~n_users:1_000_000 ~n_servers:3 ~noise_mu:4000.0
+              ~active_fraction:0.05 ~mailbox_requests:100_000 ())
+             .Costmodel.total_seconds > b.Costmodel.total_seconds));
+    Alcotest.test_case "protocol costs reflect the wire formats" `Quick (fun () ->
+        let pr = Lazy.force params in
+        let pc = Costmodel.protocol_costs pr in
+        Alcotest.(check int) "request bytes" (Alpenhorn_core.Wire.request_ciphertext_size pr)
+          pc.Costmodel.request_bytes;
+        Alcotest.(check int) "token bytes" 32 pc.Costmodel.dial_token_bytes;
+        Alcotest.(check int) "bloom bits" 48 pc.Costmodel.bloom_bits_per_token);
+  ]
+
+let suite = suite @ more_tests
+
+(* third batch: the DES engine and the message-granularity round replay *)
+module Des = Alpenhorn_sim.Des
+module Round_sim = Alpenhorn_sim.Round_sim
+
+let des_tests =
+  [
+    Alcotest.test_case "des executes in time order" `Quick (fun () ->
+        let des = Des.create () in
+        let log = ref [] in
+        Des.schedule des ~at:3.0 (fun () -> log := 3 :: !log);
+        Des.schedule des ~at:1.0 (fun () -> log := 1 :: !log);
+        Des.schedule des ~at:2.0 (fun () -> log := 2 :: !log);
+        Des.run des;
+        Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (List.rev !log);
+        Alcotest.(check (float 1e-9)) "clock at last event" 3.0 (Des.now des));
+    Alcotest.test_case "simultaneous events run in scheduling order" `Quick (fun () ->
+        let des = Des.create () in
+        let log = ref [] in
+        for i = 1 to 5 do
+          Des.schedule des ~at:1.0 (fun () -> log := i :: !log)
+        done;
+        Des.run des;
+        Alcotest.(check (list int)) "fifo" [ 1; 2; 3; 4; 5 ] (List.rev !log));
+    Alcotest.test_case "events can schedule events" `Quick (fun () ->
+        let des = Des.create () in
+        let count = ref 0 in
+        let rec tick () =
+          incr count;
+          if !count < 10 then Des.after des ~delay:0.5 tick
+        in
+        Des.after des ~delay:0.5 tick;
+        Des.run des;
+        Alcotest.(check int) "ran 10 ticks" 10 !count;
+        Alcotest.(check (float 1e-9)) "5 seconds" 5.0 (Des.now des));
+    Alcotest.test_case "scheduling in the past is rejected" `Quick (fun () ->
+        let des = Des.create () in
+        Des.schedule des ~at:2.0 (fun () ->
+            Alcotest.check_raises "past" (Invalid_argument "Des.schedule: time in the past")
+              (fun () -> Des.schedule des ~at:1.0 ignore));
+        Des.run des);
+    Alcotest.test_case "heap survives many interleaved events" `Quick (fun () ->
+        let des = Des.create () in
+        let rng = Drbg.create ~seed:"des-heap" in
+        let last = ref 0.0 and count = ref 0 in
+        for _ = 1 to 1000 do
+          let at = Drbg.float rng *. 100.0 in
+          Des.schedule des ~at (fun () ->
+              Alcotest.(check bool) "monotone" true (Des.now des >= !last);
+              last := Des.now des;
+              incr count)
+        done;
+        Des.run des;
+        Alcotest.(check int) "all ran" 1000 !count);
+  ]
+
+let round_sim_tests =
+  [
+    Alcotest.test_case "store-and-forward replay agrees with the analytic model" `Quick
+      (fun () ->
+        let pr = Lazy.force params in
+        let pc = Costmodel.protocol_costs pr in
+        let m = Costmodel.paper_machine in
+        List.iter
+          (fun n_users ->
+            let analytic =
+              (Costmodel.addfriend_round m pc ~n_users ~n_servers:3 ~noise_mu:4000.0
+                 ~active_fraction:0.05 ())
+                .Costmodel.total_seconds
+            in
+            let replay =
+              (Round_sim.addfriend m pc ~n_users ~n_servers:3 ~noise_mu:4000.0
+                 ~active_fraction:0.05 ~chunks:1)
+                .Round_sim.client_done
+            in
+            Alcotest.(check bool)
+              (Printf.sprintf "within 5%% at %d users" n_users)
+              true
+              (Float.abs (replay -. analytic) /. analytic < 0.05))
+          [ 1_000_000; 10_000_000 ]);
+    Alcotest.test_case "dialing replay agrees too" `Quick (fun () ->
+        let pr = Lazy.force params in
+        let pc = Costmodel.protocol_costs pr in
+        let m = Costmodel.paper_machine in
+        let analytic =
+          (Costmodel.dialing_round m pc ~n_users:10_000_000 ~n_servers:3 ~noise_mu:25000.0
+             ~active_fraction:0.05 ~friends:1000 ~intents:10 ())
+            .Costmodel.total_seconds
+        in
+        let replay =
+          (Round_sim.dialing m pc ~n_users:10_000_000 ~n_servers:3 ~noise_mu:25000.0
+             ~active_fraction:0.05 ~friends:1000 ~intents:10 ~chunks:1)
+            .Round_sim.client_done
+        in
+        Alcotest.(check bool) "within 5%" true (Float.abs (replay -. analytic) /. analytic < 0.05));
+    Alcotest.test_case "streaming chunks cut latency, more chunks cut more" `Quick (fun () ->
+        let pr = Lazy.force params in
+        let pc = Costmodel.protocol_costs pr in
+        let m = Costmodel.paper_machine in
+        let lat chunks =
+          (Round_sim.addfriend m pc ~n_users:10_000_000 ~n_servers:3 ~noise_mu:4000.0
+             ~active_fraction:0.05 ~chunks)
+            .Round_sim.client_done
+        in
+        let l1 = lat 1 and l4 = lat 4 and l16 = lat 16 in
+        Alcotest.(check bool) "4 chunks faster" true (l4 < l1);
+        Alcotest.(check bool) "16 chunks faster still" true (l16 < l4);
+        (* with many chunks the pipeline approaches the single-server bound:
+           at least a 2x win on a 3-server chain *)
+        Alcotest.(check bool) "at least 2x" true (l16 *. 2.0 < l1));
+    Alcotest.test_case "timeline fields are ordered" `Quick (fun () ->
+        let pr = Lazy.force params in
+        let pc = Costmodel.protocol_costs pr in
+        let m = Costmodel.paper_machine in
+        let t =
+          Round_sim.addfriend m pc ~n_users:1_000_000 ~n_servers:3 ~noise_mu:4000.0
+            ~active_fraction:0.05 ~chunks:4
+        in
+        Alcotest.(check bool) "servers finish in order" true
+          (t.Round_sim.server_done.(0) <= t.Round_sim.server_done.(1)
+          && t.Round_sim.server_done.(1) <= t.Round_sim.server_done.(2));
+        Alcotest.(check bool) "publish after servers" true
+          (t.Round_sim.publish >= t.Round_sim.server_done.(2));
+        Alcotest.(check bool) "client last" true (t.Round_sim.client_done > t.Round_sim.publish));
+  ]
+
+let suite = suite @ des_tests @ round_sim_tests

@@ -1,0 +1,137 @@
+(* The mini Vuvuzela conversation layer (§8.5 integration target). *)
+
+module V = Alpenhorn_vuvuzela.Vuvuzela
+
+let session_key = String.make 32 'k'
+
+let unit_tests =
+  [
+    Alcotest.test_case "two peers exchange messages" `Quick (fun () ->
+        let server = V.create_server () in
+        let alice = V.start ~session_key ~role:`Caller in
+        let bob = V.start ~session_key ~role:`Callee in
+        V.deposit alice server (Some "hi bob");
+        V.deposit bob server (Some "hi alice");
+        V.exchange server;
+        Alcotest.(check (option (option string))) "bob reads alice" (Some (Some "hi bob"))
+          (V.retrieve bob server);
+        Alcotest.(check (option (option string))) "alice reads bob" (Some (Some "hi alice"))
+          (V.retrieve alice server));
+    Alcotest.test_case "padding reads as Some None" `Quick (fun () ->
+        let server = V.create_server () in
+        let alice = V.start ~session_key ~role:`Caller in
+        let bob = V.start ~session_key ~role:`Callee in
+        V.deposit alice server None;
+        V.deposit bob server (Some "real");
+        V.exchange server;
+        Alcotest.(check (option (option string))) "bob sees padding" (Some None)
+          (V.retrieve bob server);
+        Alcotest.(check (option (option string))) "alice sees message" (Some (Some "real"))
+          (V.retrieve alice server));
+    Alcotest.test_case "offline peer yields None" `Quick (fun () ->
+        let server = V.create_server () in
+        let alice = V.start ~session_key ~role:`Caller in
+        let bob = V.start ~session_key ~role:`Callee in
+        V.deposit alice server (Some "anyone there?");
+        V.exchange server;
+        Alcotest.(check (option (option string))) "nobody answered" None (V.retrieve alice server);
+        (* rounds stay in sync even through the missed exchange *)
+        Alcotest.(check int) "alice round" 1 (V.round alice);
+        V.deposit alice server (Some "retry");
+        (* bob comes back but his round counter is behind: he must catch up *)
+        let _ = V.retrieve bob server in
+        V.deposit bob server (Some "back");
+        V.exchange server;
+        Alcotest.(check (option (option string))) "delivered" (Some (Some "back"))
+          (V.retrieve alice server));
+    Alcotest.test_case "multi-round conversation" `Quick (fun () ->
+        let server = V.create_server () in
+        let alice = V.start ~session_key ~role:`Caller in
+        let bob = V.start ~session_key ~role:`Callee in
+        for i = 1 to 5 do
+          V.deposit alice server (Some (Printf.sprintf "a%d" i));
+          V.deposit bob server (Some (Printf.sprintf "b%d" i));
+          V.exchange server;
+          Alcotest.(check (option (option string)))
+            (Printf.sprintf "round %d to bob" i)
+            (Some (Some (Printf.sprintf "a%d" i)))
+            (V.retrieve bob server);
+          Alcotest.(check (option (option string)))
+            (Printf.sprintf "round %d to alice" i)
+            (Some (Some (Printf.sprintf "b%d" i)))
+            (V.retrieve alice server)
+        done);
+    Alcotest.test_case "different session keys never cross" `Quick (fun () ->
+        let server = V.create_server () in
+        let alice = V.start ~session_key ~role:`Caller in
+        let eve = V.start ~session_key:(String.make 32 'e') ~role:`Callee in
+        V.deposit alice server (Some "private");
+        V.deposit eve server (Some "intercept?");
+        V.exchange server;
+        Alcotest.(check (option (option string))) "eve gets nothing" None (V.retrieve eve server));
+    Alcotest.test_case "double deposit in a round is rejected" `Quick (fun () ->
+        let server = V.create_server () in
+        let alice = V.start ~session_key ~role:`Caller in
+        V.deposit alice server (Some "one");
+        Alcotest.check_raises "double" (Invalid_argument "Vuvuzela.deposit: already deposited this round")
+          (fun () -> V.deposit alice server (Some "two")));
+    Alcotest.test_case "message size limit enforced" `Quick (fun () ->
+        let server = V.create_server () in
+        let alice = V.start ~session_key ~role:`Caller in
+        Alcotest.check_raises "too long" (Invalid_argument "Vuvuzela.deposit: message too long")
+          (fun () -> V.deposit alice server (Some (String.make (V.message_size + 1) 'x')));
+        (* exactly at the limit is fine *)
+        V.deposit alice server (Some (String.make V.message_size 'y')));
+    Alcotest.test_case "bad session key length rejected" `Quick (fun () ->
+        Alcotest.check_raises "short key"
+          (Invalid_argument "Vuvuzela.start: session key must be 32 bytes") (fun () ->
+            ignore (V.start ~session_key:"short" ~role:`Caller)));
+    Alcotest.test_case "end-to-end: alpenhorn call bootstraps a conversation" `Quick (fun () ->
+        (* the §8.5 integration in miniature: the session key produced by a
+           real Alpenhorn call keys the conversation *)
+        let module Config = Alpenhorn_core.Config in
+        let module Client = Alpenhorn_core.Client in
+        let module Deployment = Alpenhorn_core.Deployment in
+        let d = Deployment.create ~config:Config.test ~seed:"vuv-e2e" in
+        let key_at_bob = ref None in
+        let bob_callbacks =
+          {
+            Client.null_callbacks with
+            Client.incoming_call =
+              (fun ~email:_ ~intent:_ ~session_key -> key_at_bob := Some session_key);
+          }
+        in
+        let key_at_alice = ref None in
+        let alice_callbacks =
+          {
+            Client.null_callbacks with
+            Client.call_placed =
+              (fun ~email:_ ~intent:_ ~session_key -> key_at_alice := Some session_key);
+          }
+        in
+        let alice = Deployment.new_client d ~email:"alice@x" ~callbacks:alice_callbacks in
+        let bob = Deployment.new_client d ~email:"bob@x" ~callbacks:bob_callbacks in
+        (match Deployment.register d alice with Ok () -> () | Error _ -> assert false);
+        (match Deployment.register d bob with Ok () -> () | Error _ -> assert false);
+        Client.add_friend alice ~email:"bob@x" ();
+        ignore (Deployment.run_addfriend_round d ());
+        ignore (Deployment.run_addfriend_round d ());
+        Client.call alice ~email:"bob@x" ~intent:0;
+        for _ = 1 to 4 do
+          ignore (Deployment.run_dialing_round d ())
+        done;
+        match (!key_at_alice, !key_at_bob) with
+        | Some ka, Some kb ->
+          Alcotest.(check string) "keys agree" ka kb;
+          let server = V.create_server () in
+          let ca = V.start ~session_key:ka ~role:`Caller in
+          let cb = V.start ~session_key:kb ~role:`Callee in
+          V.deposit ca server (Some "bootstrapped!");
+          V.deposit cb server None;
+          V.exchange server;
+          Alcotest.(check (option (option string))) "delivered" (Some (Some "bootstrapped!"))
+            (V.retrieve cb server)
+        | _ -> Alcotest.fail "call did not complete");
+  ]
+
+let suite = unit_tests
