@@ -11,12 +11,20 @@ module Config = Alpenhorn_core.Config
 module Client = Alpenhorn_core.Client
 module Deployment = Alpenhorn_core.Deployment
 module Mailbox = Alpenhorn_mixnet.Mailbox
+module Tel = Alpenhorn_telemetry.Telemetry
 open Bench_util
 
-(* Real end-to-end rounds with n in-process clients on the test curve. *)
+(* Real end-to-end rounds with n in-process clients on the test curve.
+   All timing comes out of the telemetry registry (round spans and the
+   per-server unwrap histogram), not ad-hoc stopwatches — the same
+   snapshot a deployment would export. *)
 let e2e () =
   header "End-to-end: real protocol, in-process deployment (test curve)";
-  row [ pad 10 "clients"; padl 14 "add-friend"; padl 14 "dialing"; padl 12 "mailbox" ];
+  row
+    [
+      pad 10 "clients"; padl 14 "add-friend"; padl 14 "dialing"; padl 12 "unwrap";
+      padl 14 "scans (hits)"; padl 12 "mailbox";
+    ];
   List.iter
     (fun n ->
       let config = { Config.test with Config.addfriend_noise_mu = 5.0; dialing_noise_mu = 10.0 } in
@@ -37,20 +45,27 @@ let e2e () =
           if i < actives then
             Client.add_friend c ~email:(Printf.sprintf "u%d@bench" ((i + (n / 2)) mod n)) ())
         clients;
-      let t0 = Unix.gettimeofday () in
+      ignore (Tel.Snapshot.take ~reset:true Tel.default);
       let s = Deployment.run_addfriend_round d () in
-      let t1 = Unix.gettimeofday () in
       let _ = Deployment.run_dialing_round d () in
-      let t2 = Unix.gettimeofday () in
+      let snap = Tel.Snapshot.take ~reset:true Tel.default in
+      let af = Tel.Snapshot.span_total snap "round.addfriend" in
+      let dial = Tel.Snapshot.span_total snap "round.dialing" in
+      let unwrap = Tel.Snapshot.hist_sum snap "mix.unwrap_seconds" in
+      let scans = Tel.Snapshot.counter_sum snap "client.scan_attempts" in
+      let hits = Tel.Snapshot.counter_sum snap "client.scan_hits" in
       row
         [
           pad 10 (string_of_int n);
-          padl 14 (Printf.sprintf "%.2f s" (t1 -. t0));
-          padl 14 (Printf.sprintf "%.2f s" (t2 -. t1));
+          padl 14 (Printf.sprintf "%.2f s" af);
+          padl 14 (Printf.sprintf "%.2f s" dial);
+          padl 12 (Printf.sprintf "%.2f s" unwrap);
+          padl 14 (Printf.sprintf "%d (%d)" scans hits);
           padl 12 (human_bytes (Array.fold_left ( + ) 0 s.Deployment.mailbox_bytes));
         ])
     [ 10; 25; 50 ];
-  print_endline "every round runs genuine IBE, onions, noise, shuffles and Bloom filters."
+  print_endline "every round runs genuine IBE, onions, noise, shuffles and Bloom filters;";
+  print_endline "the phase breakdown is read from the telemetry snapshot, not stopwatches."
 
 (* Ablation (§4.2): Anytrust-IBE vs naive onion-IBE as PKG count grows. *)
 let ablation_onion () =

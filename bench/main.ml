@@ -3,8 +3,10 @@
 
    Usage: dune exec bench/main.exe [-- section...]
    Sections: fig6 fig7 fig8 fig9 fig10 skewsize cpu sizes extract e2e
-             ablation-onion ablation-bloom ablation-mailboxes
-   With no arguments, every section runs. *)
+             ablation-onion ablation-bloom ablation-mailboxes smoke
+   With no arguments, every section runs. The "smoke" section also runs
+   under `dune runtest`: it validates the telemetry exporters on one tiny
+   instrumented round (see bench_smoke.ml). *)
 
 module Costmodel = Alpenhorn_sim.Costmodel
 
@@ -26,6 +28,7 @@ let sections pc =
     ("ablation-mailboxes", Bench_e2e.ablation_mailboxes);
     ("ratelimit", Bench_e2e.ratelimit);
     ("ablation-pipeline", Bench_e2e.ablation_pipeline);
+    ("smoke", fun () -> Bench_smoke.smoke ());
   ]
 
 let () =

@@ -18,13 +18,69 @@ module Config = Alpenhorn_core.Config
 module Client = Alpenhorn_core.Client
 module Deployment = Alpenhorn_core.Deployment
 module Costmodel = Alpenhorn_sim.Costmodel
+module Round_sim = Alpenhorn_sim.Round_sim
 module Util = Alpenhorn_crypto.Util
+module Tel = Alpenhorn_telemetry.Telemetry
 
 open Cmdliner
 
+(* ---- telemetry output (shared by session and simulate) ---- *)
+
+let write_file path body =
+  try
+    let oc = open_out path in
+    output_string oc body;
+    close_out oc
+  with Sys_error e ->
+    Printf.eprintf "alpenhorn: cannot write telemetry output: %s\n" e;
+    exit 1
+
+(* Dump the default registry: table on stderr with [--metrics], JSON
+   snapshot with [--metrics-json FILE] (wrapping the machine calibration
+   when one was used), Chrome trace_event JSON with [--trace FILE]. *)
+let dump_telemetry ~metrics ~json_path ~trace_path ?machine () =
+  if metrics || json_path <> None || trace_path <> None then begin
+    let snap = Tel.Snapshot.take Tel.default in
+    if metrics then Format.eprintf "%a@?" Tel.Snapshot.pp_table snap;
+    Option.iter
+      (fun path ->
+        let telemetry_json = Tel.Snapshot.to_json snap in
+        let body =
+          match machine with
+          | Some m ->
+            Printf.sprintf "{\"machine\":%s,\"telemetry\":%s}" (Costmodel.machine_to_json m)
+              telemetry_json
+          | None -> telemetry_json
+        in
+        write_file path body;
+        Printf.eprintf "telemetry snapshot written to %s\n" path)
+      json_path;
+    Option.iter
+      (fun path ->
+        write_file path (Tel.Snapshot.to_chrome_trace snap);
+        Printf.eprintf "chrome trace written to %s (open in about:tracing)\n" path)
+      trace_path
+  end
+
+let metrics_arg =
+  Arg.(value & flag & info [ "metrics" ] ~doc:"Print a telemetry metrics table on stderr.")
+
+let metrics_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-json" ] ~docv:"FILE" ~doc:"Write the telemetry JSON snapshot to $(docv).")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write a Chrome trace_event file to $(docv) (view in about:tracing).")
+
 (* ---- session ---- *)
 
-let run_session caller callee intent seed =
+let run_session caller callee intent seed metrics metrics_json trace =
   let d = Deployment.create ~config:Config.test ~seed in
   let secret_caller = ref None and secret_callee = ref None in
   let mk email on_place on_ring =
@@ -65,6 +121,7 @@ let run_session caller callee intent seed =
     incr guard;
     ignore (Deployment.run_dialing_round d ())
   done;
+  dump_telemetry ~metrics ~json_path:metrics_json ~trace_path:trace ();
   match (!secret_caller, !secret_callee) with
   | Some ka, Some kb when ka = kb ->
     Printf.printf "\nshared secret (paste into PANDA or your messenger):\n  %s\n" (Util.to_hex ka);
@@ -84,7 +141,9 @@ let session_cmd =
   let seed = Arg.(value & opt string "cli" & info [ "seed" ] ~doc:"Deterministic seed.") in
   Cmd.v
     (Cmd.info "session" ~doc:"Friend two users and place a call; print the shared secret.")
-    Term.(const run_session $ caller $ callee $ intent $ seed)
+    Term.(
+      const run_session $ caller $ callee $ intent $ seed $ metrics_arg $ metrics_json_arg
+      $ trace_arg)
 
 (* ---- params ---- *)
 
@@ -112,10 +171,20 @@ let params_cmd =
 
 (* ---- simulate ---- *)
 
-let run_simulate users servers dial_minutes af_hours =
+let run_simulate users servers dial_minutes af_hours calibrate metrics metrics_json trace =
   let pr = Params.production () in
   let pc = Costmodel.protocol_costs pr in
-  let m = Costmodel.paper_machine in
+  let m =
+    if calibrate then begin
+      (* measure this host's pure-OCaml primitives on the test curve (the
+         production curve would take minutes); the record is dumped with the
+         snapshot so the calibration is not lost *)
+      let m = Costmodel.measure_local (Params.test ()) in
+      Format.eprintf "%a@." Costmodel.pp_machine m;
+      m
+    end
+    else Costmodel.paper_machine
+  in
   let af =
     Costmodel.addfriend_round m pc ~n_users:users ~n_servers:servers ~noise_mu:4000.0
       ~active_fraction:0.05 ()
@@ -142,6 +211,18 @@ let run_simulate users servers dial_minutes af_hours =
   Printf.printf "total: %.2f KB/s (%.1f GB/month)\n"
     ((af_bw +. dial_bw) /. 1000.0)
     ((af_bw +. dial_bw) *. 86400.0 *. 30.0 /. 1e9);
+  if metrics || metrics_json <> None || trace <> None then begin
+    (* replay one add-friend + one dialing round on the DES engine so the
+       snapshot and trace carry per-hop counters and simulated-clock spans *)
+    ignore (Tel.Snapshot.take ~reset:true Tel.default);
+    ignore
+      (Round_sim.addfriend m pc ~n_users:users ~n_servers:servers ~noise_mu:4000.0
+         ~active_fraction:0.05 ~chunks:1);
+    ignore
+      (Round_sim.dialing m pc ~n_users:users ~n_servers:servers ~noise_mu:25000.0
+         ~active_fraction:0.05 ~friends:1000 ~intents:10 ~chunks:1);
+    dump_telemetry ~metrics ~json_path:metrics_json ~trace_path:trace ~machine:m ()
+  end;
   0
 
 let simulate_cmd =
@@ -153,9 +234,18 @@ let simulate_cmd =
   let af_hours =
     Arg.(value & opt float 4.0 & info [ "addfriend-hours" ] ~doc:"Add-friend round duration (hours).")
   in
+  let calibrate =
+    Arg.(
+      value & flag
+      & info [ "calibrate" ]
+          ~doc:"Measure this host's primitives (test curve) instead of the paper-calibrated \
+                constants; the calibration record is included in the JSON snapshot.")
+  in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Price a deployment with the paper-calibrated cost model.")
-    Term.(const run_simulate $ users $ servers $ dial_minutes $ af_hours)
+    Term.(
+      const run_simulate $ users $ servers $ dial_minutes $ af_hours $ calibrate $ metrics_arg
+      $ metrics_json_arg $ trace_arg)
 
 let () =
   let doc = "Alpenhorn: metadata-private bootstrapping (OCaml reproduction)" in

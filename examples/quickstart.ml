@@ -88,4 +88,9 @@ let () =
      Printf.printf "  both sides derived the same 256-bit session key: %s...\n"
        (String.sub (Alpenhorn_crypto.Util.to_hex ka) 0 16)
    | _ -> failwith "session keys disagree");
+
+  section "Telemetry (what the rounds above cost)";
+  (* everything was instrumented as it ran; dump the default registry *)
+  let module Tel = Alpenhorn_telemetry.Telemetry in
+  Format.printf "%a%!" Tel.Snapshot.pp_table (Tel.Snapshot.take Tel.default);
   Printf.printf "\nQuickstart complete.\n"

@@ -11,6 +11,15 @@ module Bloom = Alpenhorn_bloom.Bloom
 module Onion = Alpenhorn_mixnet.Onion
 module Payload = Alpenhorn_mixnet.Payload
 module Mailbox = Alpenhorn_mixnet.Mailbox
+module Tel = Alpenhorn_telemetry.Telemetry
+
+(* Aggregated over all client instances in the process — the evaluation
+   (§8.1) cares about total scan attempts vs hits, not per-client splits. *)
+let m_keywheel_advances = Tel.Counter.v Tel.default "client.keywheel_advances"
+let m_scan_attempts = Tel.Counter.v Tel.default "client.scan_attempts"
+let m_scan_hits = Tel.Counter.v Tel.default "client.scan_hits"
+let m_dial_tokens_checked = Tel.Counter.v Tel.default "client.dial_tokens_checked"
+let m_dial_hits = Tel.Counter.v Tel.default "client.dial_hits"
 
 type callbacks = {
   new_friend : email:string -> key:Bls.public -> bool;
@@ -262,21 +271,24 @@ let scan_addfriend_mailbox t af ciphertexts =
     | Some k -> k
   in
   let events =
-    List.filter_map
-      (fun ctxt ->
-        match Ibe.decrypt t.params identity_key ctxt with
-        | None -> None (* someone else's request, or noise (§3.1 step 6) *)
-        | Some plaintext ->
-          (match Wire.decode_request t.params plaintext with
-           | None -> None
-           | Some r ->
-             if r.sender_email = t.email then None
-             else begin
-               match verify_request t ~round:af.af_round_num r with
-               | Error _ -> None (* forged or damaged: drop silently *)
-               | Ok () -> process_request t r
-             end))
-      ciphertexts
+    Tel.Span.with_ Tel.default "client.scan_addfriend" (fun () ->
+        Tel.Counter.add m_scan_attempts (List.length ciphertexts);
+        List.filter_map
+          (fun ctxt ->
+            match Ibe.decrypt t.params identity_key ctxt with
+            | None -> None (* someone else's request, or noise (§3.1 step 6) *)
+            | Some plaintext ->
+              Tel.Counter.inc m_scan_hits;
+              (match Wire.decode_request t.params plaintext with
+               | None -> None
+               | Some r ->
+                 if r.sender_email = t.email then None
+                 else begin
+                   match verify_request t ~round:af.af_round_num r with
+                   | Error _ -> None (* forged or damaged: drop silently *)
+                   | Ok () -> process_request t r
+                 end))
+          ciphertexts)
   in
   af.identity_key <- None;
   (* erase the round identity key (§4.4) *)
@@ -285,7 +297,11 @@ let scan_addfriend_mailbox t af ciphertexts =
 (* ---- dialing (§5) ---- *)
 
 let dialing_round t = Keywheel.current_round t.wheel
-let advance_dialing t ~round = Keywheel.advance_to t.wheel ~round
+
+let advance_dialing t ~round =
+  let delta = round - Keywheel.current_round t.wheel in
+  if delta > 0 then Tel.Counter.add m_keywheel_advances delta;
+  Keywheel.advance_to t.wheel ~round
 
 let cover_dialing_payload t =
   Payload.encode ~mailbox:Payload.cover (Drbg.bytes t.rng Wire.dial_token_size)
@@ -320,13 +336,18 @@ type dial_event = Incoming_call of { peer : string; intent : int; session_key : 
 
 let scan_dialing_mailbox t filter =
   let hits =
-    Keywheel.expected_tokens t.wheel ~max_intents:t.config.Config.max_intents
-    |> List.filter_map (fun (peer, intent, token) ->
-           if Bloom.mem filter token then
-             Option.map
-               (fun sk -> Incoming_call { peer; intent; session_key = sk })
-               (Keywheel.session_key t.wheel ~email:peer)
-           else None)
+    Tel.Span.with_ Tel.default "client.scan_dialing" (fun () ->
+        let expected = Keywheel.expected_tokens t.wheel ~max_intents:t.config.Config.max_intents in
+        Tel.Counter.add m_dial_tokens_checked (List.length expected);
+        expected
+        |> List.filter_map (fun (peer, intent, token) ->
+               if Bloom.mem filter token then begin
+                 Tel.Counter.inc m_dial_hits;
+                 Option.map
+                   (fun sk -> Incoming_call { peer; intent; session_key = sk })
+                   (Keywheel.session_key t.wheel ~email:peer)
+               end
+               else None))
   in
   List.iter
     (fun (Incoming_call { peer; intent; session_key }) ->
@@ -344,7 +365,7 @@ let catch_up_dialing t ~through =
     (fun (round, filter) ->
       if round <= Keywheel.current_round t.wheel then []
       else begin
-        Keywheel.advance_to t.wheel ~round;
+        advance_dialing t ~round;
         match filter with None -> [] | Some f -> scan_dialing_mailbox t f
       end)
     through

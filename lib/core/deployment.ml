@@ -6,6 +6,7 @@ module Pkg = Alpenhorn_pkg.Pkg
 module Chain = Alpenhorn_mixnet.Chain
 module Mailbox = Alpenhorn_mixnet.Mailbox
 module Bloom = Alpenhorn_bloom.Bloom
+module Tel = Alpenhorn_telemetry.Telemetry
 
 type t = {
   config : Config.t;
@@ -142,36 +143,44 @@ let af_noise_body t ~mpk_agg ~mailbox:_ =
   else Drbg.bytes t.rng (Wire.request_ciphertext_size t.params)
 
 let run_addfriend_round t ?participants () =
+  Tel.Span.with_ Tel.default "round.addfriend" @@ fun () ->
   let clients = match participants with Some l -> l | None -> t.clients in
   t.af_round <- t.af_round + 1;
   let round = t.af_round in
   (* 1. PKGs rotate master keys: commit, then reveal; verify the openings *)
-  let commitments = Array.map (fun pkg -> Pkg.begin_round pkg ~round) t.pkgs in
-  Array.iteri
-    (fun i pkg ->
-      match Pkg.reveal_round pkg ~round with
-      | Error e -> failwith ("Deployment: reveal failed: " ^ Pkg.error_to_string e)
-      | Ok (mpk, opening) ->
-        if not (Pkg.verify_commitment t.params ~commitment:commitments.(i) ~mpk ~opening) then
-          failwith "Deployment: PKG commitment mismatch")
-    t.pkgs;
-  let mpk_agg = aggregate_mpk t ~round in
+  let mpk_agg =
+    Tel.Span.with_ Tel.default "pkg.rotate" @@ fun () ->
+    let commitments = Array.map (fun pkg -> Pkg.begin_round pkg ~round) t.pkgs in
+    Array.iteri
+      (fun i pkg ->
+        match Pkg.reveal_round pkg ~round with
+        | Error e -> failwith ("Deployment: reveal failed: " ^ Pkg.error_to_string e)
+        | Ok (mpk, opening) ->
+          if not (Pkg.verify_commitment t.params ~commitment:commitments.(i) ~mpk ~opening) then
+            failwith "Deployment: PKG commitment mismatch")
+      t.pkgs;
+    aggregate_mpk t ~round
+  in
   let num_mailboxes = num_af_mailboxes t ~participants:(List.length clients) in
   (* 2. every client extracts identity keys and submits one onion *)
   let server_pks = Chain.begin_round t.af_chain in
-  let contexts =
-    List.map
-      (fun c ->
-        match Client.begin_addfriend_round c ~round ~now:t.clock ~pkgs:t.pkgs with
-        | Error e -> failwith ("Deployment: extraction failed: " ^ Pkg.error_to_string e)
-        | Ok ctx -> (c, ctx))
-      clients
-  in
-  let batch =
-    List.map
-      (fun (c, ctx) -> Client.addfriend_submission c ctx ~mpk_agg ~num_mailboxes ~server_pks)
-      contexts
-    |> Array.of_list
+  let contexts, batch =
+    Tel.Span.with_ Tel.default "client.submit" @@ fun () ->
+    let contexts =
+      List.map
+        (fun c ->
+          match Client.begin_addfriend_round c ~round ~now:t.clock ~pkgs:t.pkgs with
+          | Error e -> failwith ("Deployment: extraction failed: " ^ Pkg.error_to_string e)
+          | Ok ctx -> (c, ctx))
+        clients
+    in
+    let batch =
+      List.map
+        (fun (c, ctx) -> Client.addfriend_submission c ctx ~mpk_agg ~num_mailboxes ~server_pks)
+        contexts
+      |> Array.of_list
+    in
+    (contexts, batch)
   in
   (* 3. the mixnet chain runs the round *)
   let mailboxes, stats =
@@ -183,6 +192,7 @@ let run_addfriend_round t ?participants () =
   let buckets = Mailbox.plain_exn mailboxes in
   (* 4-6. every client downloads its mailbox and scans *)
   let events =
+    Tel.Span.with_ Tel.default "client.scan" @@ fun () ->
     List.concat_map
       (fun (c, ctx) ->
         let mb = Mailbox.mailbox_of_identity (Client.email c) ~num_mailboxes in
@@ -223,6 +233,7 @@ let num_dial_mailboxes t ~participants =
     ~chain_length:t.config.Config.chain_length
 
 let run_dialing_round t ?participants () =
+  Tel.Span.with_ Tel.default "round.dialing" @@ fun () ->
   let clients = match participants with Some l -> l | None -> t.clients in
   t.dial_round <- t.dial_round + 1;
   let round = t.dial_round in
@@ -230,6 +241,7 @@ let run_dialing_round t ?participants () =
   List.iter (fun c -> Client.advance_dialing c ~round) clients;
   let server_pks = Chain.begin_round t.dial_chain in
   let batch =
+    Tel.Span.with_ Tel.default "client.submit" @@ fun () ->
     List.map (fun c -> Client.dialing_submission c ~num_mailboxes ~server_pks) clients
     |> Array.of_list
   in
@@ -244,6 +256,7 @@ let run_dialing_round t ?participants () =
   Hashtbl.replace t.dial_archive round (filters, num_mailboxes);
   Hashtbl.remove t.dial_archive (round - t.config.Config.dial_archive_rounds);
   let calls =
+    Tel.Span.with_ Tel.default "client.scan" @@ fun () ->
     List.concat_map
       (fun c ->
         let mb = Mailbox.mailbox_of_identity (Client.email c) ~num_mailboxes in

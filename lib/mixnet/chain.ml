@@ -1,6 +1,7 @@
 module Drbg = Alpenhorn_crypto.Drbg
 module Params = Alpenhorn_pairing.Params
 module Dh = Alpenhorn_dh.Dh
+module Tel = Alpenhorn_telemetry.Telemetry
 
 type t = { params : Params.t; servers : Server.t array }
 
@@ -29,20 +30,26 @@ let round_pks t =
          | None -> invalid_arg "Chain.round_pks: round not started")
 
 let run_round t ~mode ~noise_mu ~laplace_b ~num_mailboxes ~noise_body batch =
-  let n = Array.length t.servers in
-  let pks = Array.of_list (round_pks t) in
-  let total_noise = ref 0 in
-  let current = ref batch in
-  for i = 0 to n - 1 do
-    let downstream_pks = Array.to_list (Array.sub pks (i + 1) (n - i - 1)) in
-    let out, noise =
-      Server.process t.servers.(i) ~downstream_pks ~noise_mu ~laplace_b ~num_mailboxes ~noise_body
-        !current
-    in
-    total_noise := !total_noise + noise;
-    current := out
-  done;
-  Array.iter Server.end_round t.servers;
-  let mailboxes, dropped = Mailbox.distribute ~num_mailboxes ~mode !current in
-  ( mailboxes,
-    { real_in = Array.length batch; noise_added = !total_noise; dropped; num_mailboxes } )
+  Tel.Span.with_ Tel.default "mix.round" (fun () ->
+      Tel.Counter.inc (Tel.Counter.v Tel.default "mix.rounds");
+      let n = Array.length t.servers in
+      let pks = Array.of_list (round_pks t) in
+      let total_noise = ref 0 in
+      let current = ref batch in
+      for i = 0 to n - 1 do
+        let downstream_pks = Array.to_list (Array.sub pks (i + 1) (n - i - 1)) in
+        let out, noise =
+          Tel.Span.with_ Tel.default
+            ~labels:[ ("server", string_of_int i) ]
+            "mix.server_process"
+            (fun () ->
+              Server.process t.servers.(i) ~downstream_pks ~noise_mu ~laplace_b ~num_mailboxes
+                ~noise_body !current)
+        in
+        total_noise := !total_noise + noise;
+        current := out
+      done;
+      Array.iter Server.end_round t.servers;
+      let mailboxes, dropped = Mailbox.distribute ~num_mailboxes ~mode !current in
+      ( mailboxes,
+        { real_in = Array.length batch; noise_added = !total_noise; dropped; num_mailboxes } ))

@@ -1,6 +1,19 @@
 module Drbg = Alpenhorn_crypto.Drbg
 module Params = Alpenhorn_pairing.Params
 module Dh = Alpenhorn_dh.Dh
+module Tel = Alpenhorn_telemetry.Telemetry
+
+(* Per-server metric handles, resolved once at construction so the round
+   hot path never touches the registry (DESIGN.md §7). *)
+type tel = {
+  c_in : Tel.Counter.t;
+  c_out : Tel.Counter.t;
+  c_dropped : Tel.Counter.t;
+  c_noise : Tel.Counter.t;
+  h_unwrap : Tel.Histogram.t;
+  h_noise_gen : Tel.Histogram.t;
+  h_batch : Tel.Histogram.t;
+}
 
 type t = {
   params : Params.t;
@@ -8,13 +21,26 @@ type t = {
   pos : int;
   chain_length : int;
   mutable round_key : (Dh.secret * Dh.public) option;
+  tel : tel;
 }
 
 type noise_body = mailbox:int -> string
 
 let create params ~rng ~position ~chain_length =
   if position < 0 || position >= chain_length then invalid_arg "Server.create: position";
-  { params; rng; pos = position; chain_length; round_key = None }
+  let labels = [ ("server", string_of_int position) ] in
+  let tel =
+    {
+      c_in = Tel.Counter.v Tel.default ~labels "mix.onions_in";
+      c_out = Tel.Counter.v Tel.default ~labels "mix.onions_out";
+      c_dropped = Tel.Counter.v Tel.default ~labels "mix.onions_dropped";
+      c_noise = Tel.Counter.v Tel.default ~labels "mix.noise_generated";
+      h_unwrap = Tel.Histogram.v Tel.default ~labels "mix.unwrap_seconds";
+      h_noise_gen = Tel.Histogram.v Tel.default ~labels "mix.noise_seconds";
+      h_batch = Tel.Histogram.v Tel.default ~labels "mix.batch_size";
+    }
+  in
+  { params; rng; pos = position; chain_length; round_key = None; tel }
 
 let position t = t.pos
 
@@ -36,11 +62,17 @@ let process t ~downstream_pks ~noise_mu ~laplace_b ~num_mailboxes ~noise_body ba
     | None -> invalid_arg "Server.process: no round key (call new_round)"
     | Some (sk, _) -> sk
   in
+  Tel.Counter.add t.tel.c_in (Array.length batch);
+  Tel.Histogram.observe t.tel.h_batch (float_of_int (Array.length batch));
+  let t0 = Tel.now Tel.default in
   let unwrapped =
     Array.to_list batch |> List.filter_map (fun onion -> Onion.unwrap t.params ~sk onion)
   in
+  Tel.Histogram.observe t.tel.h_unwrap (Tel.now Tel.default -. t0);
+  Tel.Counter.add t.tel.c_dropped (Array.length batch - List.length unwrapped);
   (* Noise for every real mailbox, wrapped for the rest of the chain so the
      next servers cannot distinguish it from client traffic. *)
+  let t1 = Tel.now Tel.default in
   let noise = ref [] and noise_count = ref 0 in
   for mailbox = 0 to num_mailboxes - 1 do
     let n = sample_noise_count t.rng ~mu:noise_mu ~b:laplace_b in
@@ -51,8 +83,11 @@ let process t ~downstream_pks ~noise_mu ~laplace_b ~num_mailboxes ~noise_body ba
       noise := wrapped :: !noise
     done
   done;
+  Tel.Histogram.observe t.tel.h_noise_gen (Tel.now Tel.default -. t1);
+  Tel.Counter.add t.tel.c_noise !noise_count;
   let out = Array.of_list (List.rev_append !noise unwrapped) in
   Drbg.shuffle t.rng out;
+  Tel.Counter.add t.tel.c_out (Array.length out);
   (out, !noise_count)
 
 let end_round t = t.round_key <- None

@@ -4,6 +4,15 @@ module Util = Alpenhorn_crypto.Util
 module Params = Alpenhorn_pairing.Params
 module Ibe = Alpenhorn_ibe.Ibe
 module Bls = Alpenhorn_bls.Bls
+module Tel = Alpenhorn_telemetry.Telemetry
+
+(* Shared across all PKG instances: the paper's trust model makes the PKGs
+   symmetric, so aggregated counts are what the evaluation reads. *)
+let m_extractions = Tel.Counter.v Tel.default "pkg.extractions"
+let m_extract_errors = Tel.Counter.v Tel.default "pkg.extract_errors"
+let m_verifications = Tel.Counter.v Tel.default "pkg.verifications"
+let m_registrations = Tel.Counter.v Tel.default "pkg.registrations"
+let m_extract_seconds = Tel.Histogram.v Tel.default "pkg.extract_seconds"
 
 type error =
   | Unknown_account
@@ -113,8 +122,10 @@ let register_dkim t ~now ~email ~pk ~signature =
     | None -> Error Unknown_provider
     | Some provider_key ->
       let msg = dkim_message ~email ~pk_bytes:(Bls.public_bytes t.params pk) in
+      Tel.Counter.inc m_verifications;
       if Bls.verify t.params provider_key msg signature then begin
         Hashtbl.replace t.accounts email (Active { pk; last_seen = now });
+        Tel.Counter.inc m_registrations;
         Ok ()
       end
       else Error Bad_signature
@@ -128,6 +139,7 @@ let confirm t ~now ~email ~token =
   | Some (Pending p) ->
     if Util.const_time_eq p.token token then begin
       Hashtbl.replace t.accounts email (Active { pk = p.pk; last_seen = now });
+      Tel.Counter.inc m_registrations;
       Ok ()
     end
     else Error Bad_token
@@ -137,6 +149,7 @@ let deregister t ~now ~email ~signature =
   | None | Some (Pending _) -> Error Unknown_account
   | Some (Lockout l) -> Error (Locked_out (Stdlib.max 0 (l.until - now)))
   | Some (Active a) ->
+    Tel.Counter.inc m_verifications;
     if Bls.verify t.params a.pk ("deregister" ^ email) signature then begin
       Hashtbl.replace t.accounts email (Lockout { until = now + t.lockout });
       Ok ()
@@ -187,11 +200,12 @@ let extraction_request_message ~email ~round = "extract" ^ Util.be32 round ^ ema
 
 let attestation_message ~email ~pk_bytes ~round = "attest" ^ Util.be32 round ^ Util.be32 (String.length email) ^ email ^ pk_bytes
 
-let extract t ~now ~round ~email ~signature =
+let extract_inner t ~now ~round ~email ~signature =
   match Hashtbl.find_opt t.accounts email with
   | None | Some (Lockout _) -> Error Unknown_account
   | Some (Pending _) -> Error Not_confirmed
   | Some (Active a) ->
+    Tel.Counter.inc m_verifications;
     if not (Bls.verify t.params a.pk (extraction_request_message ~email ~round) signature) then
       Error Bad_signature
     else begin
@@ -210,3 +224,12 @@ let extract t ~now ~round ~email ~signature =
             Ok (d_id, att)
         end
     end
+
+let extract t ~now ~round ~email ~signature =
+  let t0 = Tel.now Tel.default in
+  let result = extract_inner t ~now ~round ~email ~signature in
+  Tel.Histogram.observe m_extract_seconds (Tel.now Tel.default -. t0);
+  (match result with
+  | Ok _ -> Tel.Counter.inc m_extractions
+  | Error _ -> Tel.Counter.inc m_extract_errors);
+  result

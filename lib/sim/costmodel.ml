@@ -71,6 +71,26 @@ let measure_local (params : Params.t) =
     rtt = 0.08;
   }
 
+let pp_machine fmt m =
+  Format.fprintf fmt
+    "@[<v>machine calibration:@,\
+     \  cores            %d (client: %d)@,\
+     \  t_unwrap         %.3g s@,\
+     \  t_ibe_decrypt    %.3g s@,\
+     \  t_ibe_encrypt    %.3g s@,\
+     \  t_token          %.3g s@,\
+     \  link_bandwidth   %.3g B/s@,\
+     \  client_bandwidth %.3g B/s@,\
+     \  rtt              %.3g s@]"
+    m.cores m.client_cores m.t_unwrap m.t_ibe_decrypt m.t_ibe_encrypt m.t_token m.link_bandwidth
+    m.client_bandwidth m.rtt
+
+let machine_to_json m =
+  Printf.sprintf
+    "{\"cores\":%d,\"client_cores\":%d,\"t_unwrap\":%.9g,\"t_ibe_decrypt\":%.9g,\"t_ibe_encrypt\":%.9g,\"t_token\":%.9g,\"link_bandwidth\":%.9g,\"client_bandwidth\":%.9g,\"rtt\":%.9g}"
+    m.cores m.client_cores m.t_unwrap m.t_ibe_decrypt m.t_ibe_encrypt m.t_token m.link_bandwidth
+    m.client_bandwidth m.rtt
+
 type protocol_costs = {
   request_bytes : int;
   dial_token_bytes : int;

@@ -43,6 +43,14 @@ val paper_machine : machine
 val measure_local : Params.t -> machine
 (** Quick microbenchmark (a few hundred ms) of this host's primitives. *)
 
+val pp_machine : Format.formatter -> machine -> unit
+(** Human-readable calibration record. *)
+
+val machine_to_json : machine -> string
+(** JSON object for a calibrated machine, so [measure_local] runs can be
+    recorded alongside telemetry snapshots (DESIGN.md §7) instead of
+    printed and lost. *)
+
 type protocol_costs = {
   request_bytes : int;  (** one add-friend mailbox entry *)
   dial_token_bytes : int;  (** 32 *)

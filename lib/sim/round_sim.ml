@@ -1,4 +1,5 @@
 module Mailbox = Alpenhorn_mixnet.Mailbox
+module Tel = Alpenhorn_telemetry.Telemetry
 
 type timeline = { server_done : float array; publish : float; client_done : float }
 
@@ -7,11 +8,32 @@ type timeline = { server_done : float array; publish : float; client_done : floa
    chunk at a time, in arrival order) and forwards each finished chunk
    after a link delay. Noise generation happens once per server, amortized
    into its first chunk. The last server publishes when its final chunk is
-   done; the client then downloads and scans. *)
-let replay (m : Costmodel.machine) ~n_servers ~batch0 ~noise_per_server ~t_noise ~msg_bytes
-    ~mailbox_bytes ~scan_seconds ~chunks =
+   done; the client then downloads and scans.
+
+   The replay emits the same telemetry schema as a real deployment round
+   (counter/histogram names match {!Alpenhorn_mixnet.Server}), but on the
+   DES clock: spans carry simulated timestamps, and per-hop counters hold
+   the modeled message counts. [scan_metric]/[scan_ops] name and size the
+   client-side scan counter ("client.scan_attempts" = IBE decryptions for
+   add-friend, "client.dial_tokens_checked" for dialing). *)
+let replay (m : Costmodel.machine) ~phase ~scan_metric ~scan_ops ~n_servers ~batch0
+    ~noise_per_server ~t_noise ~msg_bytes ~mailbox_bytes ~scan_seconds ~chunks =
   if chunks < 1 then invalid_arg "Round_sim: chunks";
   let des = Des.create () in
+  let reg = Tel.default in
+  let labels i = [ ("server", string_of_int i) ] in
+  let c_in = Array.init n_servers (fun i -> Tel.Counter.v reg ~labels:(labels i) "mix.onions_in") in
+  let c_out =
+    Array.init n_servers (fun i -> Tel.Counter.v reg ~labels:(labels i) "mix.onions_out")
+  in
+  let c_noise =
+    Array.init n_servers (fun i -> Tel.Counter.v reg ~labels:(labels i) "mix.noise_generated")
+  in
+  let h_unwrap =
+    Array.init n_servers (fun i -> Tel.Histogram.v reg ~labels:(labels i) "mix.unwrap_seconds")
+  in
+  let c_scan = Tel.Counter.v reg scan_metric in
+  let round_int x = int_of_float (Float.round x) in
   let server_done = Array.make n_servers 0.0 in
   let publish = ref 0.0 and client_done = ref 0.0 in
   (* per-server: when its pipeline becomes free *)
@@ -19,20 +41,25 @@ let replay (m : Costmodel.machine) ~n_servers ~batch0 ~noise_per_server ~t_noise
   let chunks_seen = Array.make n_servers 0 in
   (* messages per chunk grows along the chain as servers add noise *)
   let rec deliver server chunk_msgs chunk_index =
-    let proc_seconds =
-      (chunk_msgs *. m.Costmodel.t_unwrap /. float_of_int m.Costmodel.cores)
-      +.
-      (* amortize this server's noise generation into its first chunk *)
-      (if chunks_seen.(server) = 0 then
-         noise_per_server *. t_noise /. float_of_int m.Costmodel.cores
-       else 0.0)
+    let unwrap_seconds = chunk_msgs *. m.Costmodel.t_unwrap /. float_of_int m.Costmodel.cores in
+    (* amortize this server's noise generation into its first chunk *)
+    let first_chunk = chunks_seen.(server) = 0 in
+    let noise_seconds =
+      if first_chunk then noise_per_server *. t_noise /. float_of_int m.Costmodel.cores else 0.0
     in
+    let proc_seconds = unwrap_seconds +. noise_seconds in
     chunks_seen.(server) <- chunks_seen.(server) + 1;
     let start = Stdlib.max (Des.now des) free_at.(server) in
     let finish = start +. proc_seconds in
     free_at.(server) <- finish;
     server_done.(server) <- finish;
+    Tel.Counter.add c_in.(server) (round_int chunk_msgs);
+    Tel.Histogram.observe h_unwrap.(server) unwrap_seconds;
+    if first_chunk then Tel.Counter.add c_noise.(server) (round_int noise_per_server);
+    Tel.Span.emit reg ~labels:(labels server) ~depth:1 ~name:"mix.server_process" ~ts:start
+      ~dur:proc_seconds ();
     let out_msgs = chunk_msgs +. (noise_per_server /. float_of_int chunks) in
+    Tel.Counter.add c_out.(server) (round_int out_msgs);
     let transfer = out_msgs *. msg_bytes /. m.Costmodel.link_bandwidth in
     let arrival = finish +. transfer +. (m.Costmodel.rtt /. 2.0) in
     if server + 1 < n_servers then
@@ -44,16 +71,22 @@ let replay (m : Costmodel.machine) ~n_servers ~batch0 ~noise_per_server ~t_noise
           if chunk_index = chunks - 1 then begin
             publish := Des.now des;
             let download = mailbox_bytes /. m.Costmodel.client_bandwidth in
+            Tel.Span.emit reg ~depth:1 ~name:"client.download" ~ts:!publish ~dur:download ();
+            Tel.Span.emit reg ~depth:1 ~name:"client.scan" ~ts:(!publish +. download)
+              ~dur:scan_seconds ();
+            Tel.Counter.add c_scan (round_int scan_ops);
             Des.after des ~delay:(download +. scan_seconds) (fun () ->
                 client_done := Des.now des)
           end)
     end
   in
-  let per_chunk = float_of_int batch0 /. float_of_int chunks in
-  for i = 0 to chunks - 1 do
-    Des.schedule des ~at:0.0 (fun () -> deliver 0 per_chunk i)
-  done;
-  Des.run des;
+  Tel.with_clock reg ~kind:"sim" (fun () -> Des.now des) (fun () ->
+      let per_chunk = float_of_int batch0 /. float_of_int chunks in
+      for i = 0 to chunks - 1 do
+        Des.schedule des ~at:0.0 (fun () -> deliver 0 per_chunk i)
+      done;
+      Des.run des;
+      Tel.Span.emit reg ~name:("round." ^ phase) ~ts:0.0 ~dur:!client_done ());
   { server_done; publish = !publish; client_done = !client_done }
 
 let addfriend m (pc : Costmodel.protocol_costs) ~n_users ~n_servers ~noise_mu ~active_fraction
@@ -63,7 +96,8 @@ let addfriend m (pc : Costmodel.protocol_costs) ~n_users ~n_servers ~noise_mu ~a
   let requests_in_mailbox =
     (float_of_int active /. float_of_int k) +. (noise_mu *. float_of_int n_servers)
   in
-  replay m ~n_servers ~batch0:n_users ~noise_per_server:(noise_mu *. float_of_int k)
+  replay m ~phase:"addfriend" ~scan_metric:"client.scan_attempts" ~scan_ops:requests_in_mailbox
+    ~n_servers ~batch0:n_users ~noise_per_server:(noise_mu *. float_of_int k)
     ~t_noise:m.Costmodel.t_ibe_encrypt
     ~msg_bytes:(float_of_int (pc.Costmodel.request_bytes + pc.Costmodel.payload_header_bytes))
     ~mailbox_bytes:(requests_in_mailbox *. float_of_int pc.Costmodel.request_bytes)
@@ -78,8 +112,9 @@ let dialing m (pc : Costmodel.protocol_costs) ~n_users ~n_servers ~noise_mu ~act
   let tokens_in_mailbox =
     (float_of_int active /. float_of_int k) +. (noise_mu *. float_of_int n_servers)
   in
-  replay m ~n_servers ~batch0:n_users ~noise_per_server:(noise_mu *. float_of_int k)
-    ~t_noise:m.Costmodel.t_token
+  replay m ~phase:"dialing" ~scan_metric:"client.dial_tokens_checked"
+    ~scan_ops:(float_of_int (friends * intents)) ~n_servers ~batch0:n_users
+    ~noise_per_server:(noise_mu *. float_of_int k) ~t_noise:m.Costmodel.t_token
     ~msg_bytes:(float_of_int (pc.Costmodel.dial_token_bytes + pc.Costmodel.payload_header_bytes))
     ~mailbox_bytes:(tokens_in_mailbox *. float_of_int pc.Costmodel.bloom_bits_per_token /. 8.0)
     ~scan_seconds:

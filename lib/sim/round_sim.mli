@@ -14,7 +14,14 @@
       design leaves on the table (at some privacy cost: early chunks leak
       arrival-order information, so a deployment would still batch per
       round; the experiment quantifies the latency price of that
-      batching). *)
+      batching).
+
+    Both entry points emit telemetry into {!Alpenhorn_telemetry.Telemetry}'s
+    default registry under the {e same} metric names as a real deployment
+    round ([mix.onions_in{server=i}], [mix.unwrap_seconds{server=i}],
+    [client.scan_attempts], …), with spans timestamped on the simulated
+    clock — so a [round_sim] run and a wall-clock run produce snapshots and
+    Chrome traces with identical schema. *)
 
 type timeline = {
   server_done : float array;  (** when each server finished its last chunk *)

@@ -6,19 +6,24 @@ let mean xs = check xs; Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.len
 
 let percentile xs p =
   check xs;
-  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile";
+  if Float.is_nan p || p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile";
   let sorted = Array.copy xs in
   Array.sort compare sorted;
   let n = Array.length sorted in
-  if n = 1 then sorted.(0)
-  else begin
-    let rank = p /. 100.0 *. float_of_int (n - 1) in
-    let lo = int_of_float (Float.of_int (int_of_float rank) |> Float.min (float_of_int (n - 2))) in
-    let frac = rank -. float_of_int lo in
-    sorted.(lo) +. (frac *. (sorted.(lo + 1) -. sorted.(lo)))
-  end
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  (* clamp the index so n = 1 and p = 100 never index past the end *)
+  let lo = Stdlib.min (int_of_float rank) (n - 1) in
+  let frac = rank -. float_of_int lo in
+  if lo >= n - 1 || frac <= 0.0 then sorted.(lo)
+  else sorted.(lo) +. (frac *. (sorted.(lo + 1) -. sorted.(lo)))
 
 let median xs = percentile xs 50.0
+
+let stddev xs =
+  check xs;
+  let m = mean xs in
+  sqrt (Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs
+        /. float_of_int (Array.length xs))
 
 let weighted_percentile pairs p =
   if Array.length pairs = 0 then invalid_arg "Stats.weighted_percentile: empty";
@@ -47,7 +52,9 @@ let histogram xs ~buckets =
   let counts = Array.make buckets 0 in
   Array.iter
     (fun x ->
-      let b = Stdlib.min (buckets - 1) (int_of_float ((x -. lo) /. width)) in
+      (* clamp both ends: x = hi maps to the last bucket, and float error on
+         a single-element / constant array cannot produce a negative index *)
+      let b = Stdlib.max 0 (Stdlib.min (buckets - 1) (int_of_float ((x -. lo) /. width))) in
       counts.(b) <- counts.(b) + 1)
     xs;
   Array.mapi (fun i c -> (lo +. (float_of_int i *. width), c)) counts

@@ -5,7 +5,13 @@ val max : float array -> float
 val mean : float array -> float
 val median : float array -> float
 val percentile : float array -> float -> float
-(** [percentile xs p] with p in [0, 100], linear interpolation.
+(** [percentile xs p] with p in [0, 100], linear interpolation. Safe at the
+    edges: a single-element array returns its element for any p, and
+    [p = 100] returns the maximum.
+    @raise Invalid_argument on an empty array or p outside [0, 100]. *)
+
+val stddev : float array -> float
+(** Population standard deviation (divides by n).
     @raise Invalid_argument on an empty array. *)
 
 val weighted_percentile : (float * float) array -> float -> float

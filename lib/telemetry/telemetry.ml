@@ -1,0 +1,621 @@
+(* Single-domain metrics registry. Hot paths (counter/gauge/histogram hits)
+   are plain mutable-field updates on handles resolved once at registration;
+   the registry hashtable is only consulted by [v] and [Snapshot.take]. *)
+
+type labels = (string * string) list
+
+let wall_clock = Unix.gettimeofday
+
+(* ---- histogram bucket layout (shared by all histograms) ---- *)
+
+let n_buckets = 64
+
+(* bucket i covers [2^(i-32), 2^(i-31)); <= 2^-32 lands in bucket 0 and
+   >= 2^31 in the last — spans ~0.2 ns to ~2e9 in whatever unit is used *)
+let bucket_of v =
+  if v <= 0.0 || Float.is_nan v then 0
+  else begin
+    let _, e = Float.frexp v in
+    (* v = m * 2^e with m in [0.5, 1), so v in [2^(e-1), 2^e) *)
+    let i = e + 31 in
+    if i < 0 then 0 else if i >= n_buckets then n_buckets - 1 else i
+  end
+
+let bucket_lower i = Float.ldexp 1.0 (i - 32)
+
+type counter = { mutable c : int }
+type gauge = { mutable g : float }
+
+type histogram = {
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  counts : int array;
+}
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type span_rec = {
+  sp_name : string;
+  sp_labels : labels;
+  sp_ts : float;
+  sp_dur : float;
+  sp_depth : int;
+  sp_clock : string;
+}
+
+let max_spans = 100_000
+
+type registry = {
+  mutable clock : unit -> float;
+  mutable ckind : string;
+  mutable epoch : float;
+  metrics : (string * labels, metric) Hashtbl.t;
+  mutable spans : span_rec list; (* reversed *)
+  mutable n_spans : int;
+  mutable dropped_spans : int;
+  mutable depth : int;
+}
+
+let create ?(clock = wall_clock) ?(clock_kind = "wall") () =
+  {
+    clock;
+    ckind = clock_kind;
+    epoch = clock ();
+    metrics = Hashtbl.create 64;
+    spans = [];
+    n_spans = 0;
+    dropped_spans = 0;
+    depth = 0;
+  }
+
+let default = create ()
+let now r = r.clock ()
+let clock_kind r = r.ckind
+
+let set_clock r ~kind clock =
+  r.clock <- clock;
+  r.ckind <- kind;
+  r.epoch <- clock ()
+
+let with_clock r ~kind clock f =
+  let old_clock = r.clock and old_kind = r.ckind and old_epoch = r.epoch in
+  set_clock r ~kind clock;
+  Fun.protect
+    ~finally:(fun () ->
+      r.clock <- old_clock;
+      r.ckind <- old_kind;
+      r.epoch <- old_epoch)
+    f
+
+let normalize_labels labels = List.sort_uniq compare labels
+
+let find_or_register r ~labels name make select =
+  let key = (name, normalize_labels labels) in
+  match Hashtbl.find_opt r.metrics key with
+  | Some m -> begin
+    match select m with
+    | Some h -> h
+    | None -> invalid_arg (Printf.sprintf "Telemetry: %S already registered with another kind" name)
+  end
+  | None ->
+    let m, h = make () in
+    Hashtbl.replace r.metrics key m;
+    h
+
+module Counter = struct
+  type t = counter
+
+  let v r ?(labels = []) name =
+    find_or_register r ~labels name
+      (fun () ->
+        let c = { c = 0 } in
+        (Counter c, c))
+      (function Counter c -> Some c | _ -> None)
+
+  let inc t = t.c <- t.c + 1
+  let add t n = t.c <- t.c + n
+  let value t = t.c
+end
+
+module Gauge = struct
+  type t = gauge
+
+  let v r ?(labels = []) name =
+    find_or_register r ~labels name
+      (fun () ->
+        let g = { g = 0.0 } in
+        (Gauge g, g))
+      (function Gauge g -> Some g | _ -> None)
+
+  let set t x = t.g <- x
+  let value t = t.g
+end
+
+module Histogram = struct
+  type t = histogram
+
+  let bucket_count = n_buckets
+  let bucket_of = bucket_of
+  let bucket_lower = bucket_lower
+
+  let v r ?(labels = []) name =
+    find_or_register r ~labels name
+      (fun () ->
+        let h =
+          { count = 0; sum = 0.0; min_v = infinity; max_v = neg_infinity; counts = Array.make n_buckets 0 }
+        in
+        (Histogram h, h))
+      (function Histogram h -> Some h | _ -> None)
+
+  let observe t x =
+    t.count <- t.count + 1;
+    t.sum <- t.sum +. x;
+    if x < t.min_v then t.min_v <- x;
+    if x > t.max_v then t.max_v <- x;
+    let b = bucket_of x in
+    t.counts.(b) <- t.counts.(b) + 1
+
+  type snap = { count : int; sum : float; min_v : float; max_v : float; buckets : int array }
+
+  let empty =
+    { count = 0; sum = 0.0; min_v = infinity; max_v = neg_infinity; buckets = Array.make n_buckets 0 }
+
+  let snapshot (t : t) =
+    { count = t.count; sum = t.sum; min_v = t.min_v; max_v = t.max_v; buckets = Array.copy t.counts }
+
+  let merge a b =
+    {
+      count = a.count + b.count;
+      sum = a.sum +. b.sum;
+      min_v = Float.min a.min_v b.min_v;
+      max_v = Float.max a.max_v b.max_v;
+      buckets = Array.init n_buckets (fun i -> a.buckets.(i) + b.buckets.(i));
+    }
+
+  let mean s = if s.count = 0 then 0.0 else s.sum /. float_of_int s.count
+
+  let quantile s q =
+    if s.count = 0 then 0.0
+    else begin
+      let q = Float.max 0.0 (Float.min 1.0 q) in
+      let target = q *. float_of_int s.count in
+      let clamp v = Float.max s.min_v (Float.min s.max_v v) in
+      let rec walk i seen =
+        if i >= n_buckets then clamp s.max_v
+        else begin
+          let c = s.buckets.(i) in
+          if float_of_int (seen + c) >= target && c > 0 then begin
+            (* interpolate inside bucket i between its bounds *)
+            let lo = bucket_lower i and hi = bucket_lower (i + 1) in
+            let frac = (target -. float_of_int seen) /. float_of_int c in
+            clamp (lo +. (frac *. (hi -. lo)))
+          end
+          else walk (i + 1) (seen + c)
+        end
+      in
+      walk 0 0
+    end
+end
+
+(* ---- spans ---- *)
+
+let push_span r sp =
+  if r.n_spans >= max_spans then r.dropped_spans <- r.dropped_spans + 1
+  else begin
+    r.spans <- sp :: r.spans;
+    r.n_spans <- r.n_spans + 1
+  end
+
+module Span = struct
+  let with_ r ?(labels = []) name f =
+    let labels = normalize_labels labels in
+    let t0 = r.clock () in
+    let depth = r.depth in
+    r.depth <- depth + 1;
+    Fun.protect
+      ~finally:(fun () ->
+        r.depth <- depth;
+        push_span r
+          {
+            sp_name = name;
+            sp_labels = labels;
+            sp_ts = t0 -. r.epoch;
+            sp_dur = r.clock () -. t0;
+            sp_depth = depth;
+            sp_clock = r.ckind;
+          })
+      f
+
+  let emit r ?(labels = []) ?(depth = 0) ~name ~ts ~dur () =
+    push_span r
+      {
+        sp_name = name;
+        sp_labels = normalize_labels labels;
+        sp_ts = ts -. r.epoch;
+        sp_dur = dur;
+        sp_depth = depth;
+        sp_clock = r.ckind;
+      }
+end
+
+(* ---- snapshots ---- *)
+
+module Snapshot = struct
+  type span = { name : string; labels : labels; ts : float; dur : float; depth : int; clock : string }
+
+  type t = {
+    clock : string;
+    counters : (string * labels * int) list;
+    gauges : (string * labels * float) list;
+    histograms : (string * labels * Histogram.snap) list;
+    spans : span list;
+    dropped_spans : int;
+  }
+
+  let take ?(reset = false) r =
+    let counters = ref [] and gauges = ref [] and hists = ref [] in
+    Hashtbl.iter
+      (fun (name, labels) m ->
+        match m with
+        | Counter c -> counters := (name, labels, c.c) :: !counters
+        | Gauge g -> gauges := (name, labels, g.g) :: !gauges
+        | Histogram h -> hists := (name, labels, Histogram.snapshot h) :: !hists)
+      r.metrics;
+    let by_key (n1, l1, _) (n2, l2, _) = compare (n1, l1) (n2, l2) in
+    let spans =
+      List.rev_map
+        (fun sp ->
+          {
+            name = sp.sp_name;
+            labels = sp.sp_labels;
+            ts = sp.sp_ts;
+            dur = sp.sp_dur;
+            depth = sp.sp_depth;
+            clock = sp.sp_clock;
+          })
+        r.spans
+    in
+    let snap =
+      {
+        clock = r.ckind;
+        counters = List.sort by_key !counters;
+        gauges = List.sort by_key !gauges;
+        histograms = List.sort by_key !hists;
+        spans;
+        dropped_spans = r.dropped_spans;
+      }
+    in
+    if reset then begin
+      Hashtbl.iter
+        (fun _ m ->
+          match m with
+          | Counter c -> c.c <- 0
+          | Gauge g -> g.g <- 0.0
+          | Histogram h ->
+            h.count <- 0;
+            h.sum <- 0.0;
+            h.min_v <- infinity;
+            h.max_v <- neg_infinity;
+            Array.fill h.counts 0 n_buckets 0)
+        r.metrics;
+      r.spans <- [];
+      r.n_spans <- 0;
+      r.dropped_spans <- 0;
+      r.epoch <- r.clock ()
+    end;
+    snap
+
+  let counter_sum t name =
+    List.fold_left (fun acc (n, _, v) -> if n = name then acc + v else acc) 0 t.counters
+
+  let find_counter t ?labels name =
+    let labels = Option.map normalize_labels labels in
+    List.find_map
+      (fun (n, l, v) ->
+        if n = name && (labels = None || labels = Some l) then Some v else None)
+      t.counters
+
+  let hist_sum t name =
+    List.fold_left
+      (fun acc (n, _, (s : Histogram.snap)) -> if n = name then acc +. s.sum else acc)
+      0.0 t.histograms
+
+  let span_total t name =
+    List.fold_left (fun acc (sp : span) -> if sp.name = name then acc +. sp.dur else acc) 0.0 t.spans
+
+  let span_count t name =
+    List.fold_left (fun acc (sp : span) -> if sp.name = name then acc + 1 else acc) 0 t.spans
+
+  (* ---- table exporter ---- *)
+
+  let label_suffix = function
+    | [] -> ""
+    | labels -> "{" ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels) ^ "}"
+
+  let human_seconds s =
+    if s = 0.0 then "0"
+    else if Float.abs s < 1e-6 then Printf.sprintf "%.0f ns" (s *. 1e9)
+    else if Float.abs s < 1e-3 then Printf.sprintf "%.1f us" (s *. 1e6)
+    else if Float.abs s < 1.0 then Printf.sprintf "%.1f ms" (s *. 1e3)
+    else Printf.sprintf "%.2f s" s
+
+  let pp_table fmt t =
+    let line name cells =
+      Format.fprintf fmt "  %-44s %s@\n" name
+        (String.concat "" (List.map (fun c -> Printf.sprintf "%12s" c) cells))
+    in
+    Format.fprintf fmt "telemetry snapshot (%s clock)@\n" t.clock;
+    if t.counters <> [] then begin
+      Format.fprintf fmt "counters:@\n";
+      List.iter (fun (n, l, v) -> line (n ^ label_suffix l) [ string_of_int v ]) t.counters
+    end;
+    if t.gauges <> [] then begin
+      Format.fprintf fmt "gauges:@\n";
+      List.iter (fun (n, l, v) -> line (n ^ label_suffix l) [ Printf.sprintf "%g" v ]) t.gauges
+    end;
+    if t.histograms <> [] then begin
+      Format.fprintf fmt "histograms:@\n";
+      line "" [ "count"; "mean"; "p50"; "p99"; "max" ];
+      List.iter
+        (fun (n, l, (s : Histogram.snap)) ->
+          (* name the unit from the metric name: "*_seconds" is a duration *)
+          let render =
+            if Filename.check_suffix n "_seconds" then human_seconds
+            else fun v -> Printf.sprintf "%g" v
+          in
+          if s.count > 0 then
+            line (n ^ label_suffix l)
+              [
+                string_of_int s.count;
+                render (Histogram.mean s);
+                render (Histogram.quantile s 0.5);
+                render (Histogram.quantile s 0.99);
+                render s.max_v;
+              ])
+        t.histograms
+    end;
+    if t.spans <> [] then begin
+      Format.fprintf fmt "spans:@\n";
+      line "" [ "count"; "total" ];
+      let names = List.sort_uniq compare (List.map (fun (sp : span) -> sp.name) t.spans) in
+      List.iter
+        (fun n -> line n [ string_of_int (span_count t n); human_seconds (span_total t n) ])
+        names
+    end;
+    if t.dropped_spans > 0 then Format.fprintf fmt "  (%d spans dropped)@\n" t.dropped_spans
+
+  (* ---- JSON exporters (hand-rolled; no dependencies) ---- *)
+
+  let json_escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let json_float f = if Float.is_finite f then Printf.sprintf "%.9g" f else "0"
+
+  let json_labels labels =
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)) labels)
+    ^ "}"
+
+  let to_json t =
+    let b = Buffer.create 4096 in
+    let add = Buffer.add_string b in
+    add (Printf.sprintf "{\"clock\":\"%s\",\"counters\":[" (json_escape t.clock));
+    add
+      (String.concat ","
+         (List.map
+            (fun (n, l, v) ->
+              Printf.sprintf "{\"name\":\"%s\",\"labels\":%s,\"value\":%d}" (json_escape n)
+                (json_labels l) v)
+            t.counters));
+    add "],\"gauges\":[";
+    add
+      (String.concat ","
+         (List.map
+            (fun (n, l, v) ->
+              Printf.sprintf "{\"name\":\"%s\",\"labels\":%s,\"value\":%s}" (json_escape n)
+                (json_labels l) (json_float v))
+            t.gauges));
+    add "],\"histograms\":[";
+    add
+      (String.concat ","
+         (List.map
+            (fun (n, l, (s : Histogram.snap)) ->
+              Printf.sprintf
+                "{\"name\":\"%s\",\"labels\":%s,\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"buckets\":[%s]}"
+                (json_escape n) (json_labels l) s.count (json_float s.sum)
+                (json_float (if s.count = 0 then 0.0 else s.min_v))
+                (json_float (if s.count = 0 then 0.0 else s.max_v))
+                (String.concat "," (List.map string_of_int (Array.to_list s.buckets))))
+            t.histograms));
+    add "],\"spans\":[";
+    add
+      (String.concat ","
+         (List.map
+            (fun (sp : span) ->
+              Printf.sprintf
+                "{\"name\":\"%s\",\"labels\":%s,\"ts\":%s,\"dur\":%s,\"depth\":%d,\"clock\":\"%s\"}"
+                (json_escape sp.name) (json_labels sp.labels) (json_float sp.ts) (json_float sp.dur)
+                sp.depth (json_escape sp.clock))
+            t.spans));
+    add (Printf.sprintf "],\"dropped_spans\":%d}" t.dropped_spans);
+    Buffer.contents b
+
+  let to_chrome_trace t =
+    let tid (sp : span) =
+      match List.assoc_opt "server" sp.labels with
+      | Some s -> (match int_of_string_opt s with Some i -> i + 1 | None -> 0)
+      | None -> 0
+    in
+    let event (sp : span) =
+      let args =
+        ("clock", sp.clock) :: sp.labels
+        |> List.map (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+        |> String.concat ","
+      in
+      Printf.sprintf
+        "{\"name\":\"%s\",\"cat\":\"alpenhorn\",\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":0,\"tid\":%d,\"args\":{%s}}"
+        (json_escape sp.name)
+        (json_float (sp.ts *. 1e6))
+        (json_float (sp.dur *. 1e6))
+        (tid sp) args
+    in
+    "{\"displayTimeUnit\":\"ms\",\"traceEvents\":["
+    ^ String.concat "," (List.map event t.spans)
+    ^ "]}"
+end
+
+(* ---- minimal JSON well-formedness checker ---- *)
+
+module Json = struct
+  exception Bad
+
+  let is_valid s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let expect c = if peek () = Some c then advance () else raise Bad in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+      | _ -> ()
+    in
+    let literal lit =
+      String.iter (fun c -> expect c) lit
+    in
+    let digits () =
+      let start = !pos in
+      let rec go () =
+        match peek () with
+        | Some ('0' .. '9') ->
+          advance ();
+          go ()
+        | _ -> ()
+      in
+      go ();
+      if !pos = start then raise Bad
+    in
+    let int_part () =
+      (* RFC 8259: a leading zero may not be followed by more digits *)
+      match peek () with
+      | Some '0' -> (
+        advance ();
+        match peek () with Some ('0' .. '9') -> raise Bad | _ -> ())
+      | Some ('1' .. '9') -> digits ()
+      | _ -> raise Bad
+    in
+    let number () =
+      if peek () = Some '-' then advance ();
+      int_part ();
+      if peek () = Some '.' then begin
+        advance ();
+        digits ()
+      end;
+      (match peek () with
+      | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+      | _ -> ())
+    in
+    let string_lit () =
+      expect '"';
+      let rec go () =
+        match peek () with
+        | None -> raise Bad
+        | Some '"' -> advance ()
+        | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+            advance ();
+            go ()
+          | Some 'u' ->
+            advance ();
+            for _ = 1 to 4 do
+              match peek () with
+              | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+              | _ -> raise Bad
+            done;
+            go ()
+          | _ -> raise Bad)
+        | Some c when Char.code c < 0x20 -> raise Bad
+        | Some _ ->
+          advance ();
+          go ()
+      in
+      go ()
+    in
+    let rec value () =
+      skip_ws ();
+      (match peek () with
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then advance ()
+        else begin
+          let rec members () =
+            skip_ws ();
+            string_lit ();
+            skip_ws ();
+            expect ':';
+            value ();
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              members ()
+            | Some '}' -> advance ()
+            | _ -> raise Bad
+          in
+          members ()
+        end
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then advance ()
+        else begin
+          let rec elements () =
+            value ();
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              elements ()
+            | Some ']' -> advance ()
+            | _ -> raise Bad
+          in
+          elements ()
+        end
+      | Some '"' -> string_lit ()
+      | Some 't' -> literal "true"
+      | Some 'f' -> literal "false"
+      | Some 'n' -> literal "null"
+      | Some ('-' | '0' .. '9') -> number ()
+      | _ -> raise Bad);
+      skip_ws ()
+    in
+    match
+      value ();
+      if !pos <> n then raise Bad
+    with
+    | () -> true
+    | exception Bad -> false
+end

@@ -1,0 +1,202 @@
+(** Lightweight runtime telemetry: counters, gauges, log-scale histograms
+    and spans behind a zero-dependency registry.
+
+    Design goals (DESIGN.md §7):
+
+    - {b Cheap enough to leave on.} A counter hit is one mutable-field
+      increment on a pre-resolved handle — no hashing, no allocation, no
+      atomics (the registry assumes a single domain, like the rest of this
+      codebase). Registration ([Counter.v] etc.) is the only slow path and
+      happens once, at component construction.
+    - {b Clock-agnostic.} Every registry carries a clock. The default is
+      wall time ({!wall_clock}); the discrete-event simulator swaps in the
+      {!Alpenhorn_sim.Des} clock via {!with_clock}, so a simulated round
+      emits the same trace schema as a real one. Each span records which
+      clock it was measured on.
+    - {b Snapshot / reset between rounds.} {!Snapshot.take} captures an
+      immutable view; with [~reset:true] it also zeroes the live metrics,
+      so per-round deltas are just snapshots.
+    - {b Mergeable histograms.} All histograms share one fixed log-2
+      bucket layout, so merging two snapshots is pointwise addition —
+      associative and commutative, safe to combine across shards.
+
+    Exporters: a human-readable table ({!Snapshot.pp_table}), a JSON
+    snapshot ({!Snapshot.to_json}, consumed by [bench/]), and Chrome
+    [trace_event] JSON ({!Snapshot.to_chrome_trace}) loadable in
+    [about:tracing] / Perfetto for flamegraph viewing. *)
+
+type registry
+
+val create : ?clock:(unit -> float) -> ?clock_kind:string -> unit -> registry
+(** A fresh registry. [clock] defaults to {!wall_clock} with kind
+    ["wall"]; pass the DES clock with [~clock_kind:"sim"] for simulated
+    time. *)
+
+val default : registry
+(** The process-wide registry all built-in instrumentation uses. *)
+
+val wall_clock : unit -> float
+(** [Unix.gettimeofday]. *)
+
+val now : registry -> float
+(** Current reading of the registry's clock. *)
+
+val clock_kind : registry -> string
+
+val set_clock : registry -> kind:string -> (unit -> float) -> unit
+(** Swap the clock and re-anchor the epoch (span timestamps are relative
+    to the moment of the swap). *)
+
+val with_clock : registry -> kind:string -> (unit -> float) -> (unit -> 'a) -> 'a
+(** Run a thunk under a temporary clock, restoring the previous clock,
+    kind and epoch afterwards (exception-safe). Spans recorded inside keep
+    their simulated timestamps. *)
+
+(** {1 Metrics} *)
+
+type labels = (string * string) list
+(** Label sets distinguish instances of a metric (e.g.
+    [("server", "0")]). They are sorted at registration, so order never
+    matters. *)
+
+module Counter : sig
+  type t
+
+  val v : registry -> ?labels:labels -> string -> t
+  (** Find-or-create. Returns the {e same} handle for the same
+      name + labels, so increments from different components aggregate.
+      @raise Invalid_argument if the name is already registered as a
+      different metric kind. *)
+
+  val inc : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+end
+
+module Gauge : sig
+  type t
+
+  val v : registry -> ?labels:labels -> string -> t
+  val set : t -> float -> unit
+  val value : t -> float
+end
+
+module Histogram : sig
+  type t
+
+  (** Fixed log-2 bucket layout shared by every histogram: bucket [i]
+      covers [[2^(i-32), 2^(i-31))], clamped at both ends — fine-grained
+      enough for nanosecond latencies and million-message batch sizes
+      alike. *)
+
+  val bucket_count : int
+  val bucket_of : float -> int
+  val bucket_lower : int -> float
+  (** Lower bound of bucket [i]. *)
+
+  val v : registry -> ?labels:labels -> string -> t
+  val observe : t -> float -> unit
+
+  (** Immutable capture of a histogram; the mergeable form. *)
+  type snap = {
+    count : int;
+    sum : float;
+    min_v : float;  (** [infinity] when [count = 0] *)
+    max_v : float;  (** [neg_infinity] when [count = 0] *)
+    buckets : int array;
+  }
+
+  val empty : snap
+  val snapshot : t -> snap
+
+  val merge : snap -> snap -> snap
+  (** Pointwise bucket addition; associative and commutative with
+      [empty] as identity. *)
+
+  val mean : snap -> float
+  (** 0 when empty. *)
+
+  val quantile : snap -> float -> float
+  (** [quantile s q] with [q] in [0, 1]: estimate by linear interpolation
+      inside the covering bucket, clamped to the observed min/max.
+      0 when empty. *)
+end
+
+(** {1 Spans} *)
+
+module Span : sig
+  val with_ : registry -> ?labels:labels -> string -> (unit -> 'a) -> 'a
+  (** Time a lexical scope on the registry clock. Nesting depth is
+      tracked, so child spans render inside their parent in the trace
+      view. Exception-safe: the span is recorded even if the thunk
+      raises. *)
+
+  val emit :
+    registry -> ?labels:labels -> ?depth:int -> name:string -> ts:float -> dur:float -> unit -> unit
+  (** Record a span with explicit timing — for event-driven code (the DES
+      replay) where begin/end do not share a lexical scope. [ts] is an
+      absolute clock reading; it is stored relative to the registry
+      epoch. *)
+end
+
+(** {1 Snapshots and exporters} *)
+
+module Snapshot : sig
+  type span = {
+    name : string;
+    labels : labels;
+    ts : float;  (** seconds since the registry epoch *)
+    dur : float;  (** seconds *)
+    depth : int;
+    clock : string;  (** clock kind in effect when recorded *)
+  }
+
+  type t = {
+    clock : string;  (** registry clock kind at capture time *)
+    counters : (string * labels * int) list;
+    gauges : (string * labels * float) list;
+    histograms : (string * labels * Histogram.snap) list;
+    spans : span list;  (** in recording order *)
+    dropped_spans : int;
+  }
+
+  val take : ?reset:bool -> registry -> t
+  (** Capture every metric and span, deterministically ordered by
+      (name, labels). [~reset:true] zeroes counters and histograms,
+      clears spans and re-anchors the epoch — snapshot-and-reset is how
+      per-round deltas are produced. *)
+
+  val counter_sum : t -> string -> int
+  (** Sum over all label sets of a counter name (0 if absent). *)
+
+  val find_counter : t -> ?labels:labels -> string -> int option
+  val hist_sum : t -> string -> float
+  (** Summed [sum] over all label sets of a histogram name. *)
+
+  val span_total : t -> string -> float
+  (** Total duration over all spans with this name. *)
+
+  val span_count : t -> string -> int
+
+  val pp_table : Format.formatter -> t -> unit
+  (** Human-readable per-round table: counters, gauges, histogram
+      count/mean/p50/p99/max, and per-name span rollups. *)
+
+  val to_json : t -> string
+  (** Self-contained JSON document (no dependencies; schema in
+      DESIGN.md §7). *)
+
+  val to_chrome_trace : t -> string
+  (** Chrome [trace_event] JSON: one ["ph":"X"] complete event per span,
+      timestamps in microseconds, track chosen from the ["server"] label
+      when present. Loadable in [about:tracing]. *)
+end
+
+(** {1 Minimal JSON parser} *)
+
+module Json : sig
+  val is_valid : string -> bool
+  (** Strict RFC 8259 well-formedness check — used by tests and the bench
+      smoke target to validate emitted snapshots without external
+      dependencies. *)
+end

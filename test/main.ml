@@ -19,6 +19,7 @@ let () =
       ("integration", Test_integration.suite);
       ("vuvuzela", Test_vuvuzela.suite);
       ("sim", Test_sim.suite);
+      ("telemetry", Test_telemetry.suite);
       ("privacy", Test_privacy.suite);
       ("ratelimit", Test_ratelimit.suite);
       ("entry", Test_entry.suite);

@@ -41,6 +41,32 @@ let unit_tests =
         Alcotest.(check (float 1e-9)) "p100" 5.0 (Stats.percentile xs 100.0);
         Alcotest.check_raises "empty" (Invalid_argument "Stats: empty") (fun () ->
             ignore (Stats.mean [||])));
+    Alcotest.test_case "percentile edge cases and stddev" `Quick (fun () ->
+        (* single element: any p returns it, no out-of-bounds *)
+        let one = [| 42.0 |] in
+        List.iter
+          (fun p ->
+            Alcotest.(check (float 1e-9)) (Printf.sprintf "single p%g" p) 42.0
+              (Stats.percentile one p))
+          [ 0.0; 50.0; 99.9; 100.0 ];
+        (* p = 100 is exactly the max, and high p never overshoots it *)
+        let xs = [| 1.0; 2.0 |] in
+        Alcotest.(check (float 1e-9)) "p100 = max" 2.0 (Stats.percentile xs 100.0);
+        let p999 = Stats.percentile xs 99.9 in
+        Alcotest.(check bool) "p99.9 finite, within range" true
+          ((not (Float.is_nan p999)) && p999 >= 1.0 && p999 <= 2.0);
+        Alcotest.check_raises "NaN p rejected" (Invalid_argument "Stats.percentile") (fun () ->
+            ignore (Stats.percentile xs Float.nan));
+        Alcotest.check_raises "p > 100 rejected" (Invalid_argument "Stats.percentile") (fun () ->
+            ignore (Stats.percentile xs 100.5));
+        (* histogram of a single element: one bucket gets the count *)
+        let h = Stats.histogram [| 7.0 |] ~buckets:3 in
+        Alcotest.(check int) "single-element histogram total" 1
+          (Array.fold_left (fun acc (_, c) -> acc + c) 0 h);
+        (* population stddev *)
+        Alcotest.(check (float 1e-9)) "stddev constant" 0.0 (Stats.stddev [| 5.0; 5.0 |]);
+        Alcotest.(check (float 1e-9)) "stddev 1..4" (sqrt 1.25)
+          (Stats.stddev [| 1.0; 2.0; 3.0; 4.0 |]));
     Alcotest.test_case "weighted percentile" `Quick (fun () ->
         let pairs = [| (1.0, 1.0); (10.0, 99.0) |] in
         Alcotest.(check (float 1e-9)) "p50 dominated by weight" 10.0

@@ -1,0 +1,190 @@
+(* Telemetry registry: metric semantics, snapshot/reset isolation,
+   simulated-clock spans, histogram merge algebra, exporter validity. *)
+
+module Tel = Alpenhorn_telemetry.Telemetry
+module Des = Alpenhorn_sim.Des
+
+let fresh () = Tel.create ()
+
+let unit_tests =
+  [
+    Alcotest.test_case "counter add and handle identity" `Quick (fun () ->
+        let r = fresh () in
+        let c = Tel.Counter.v r "hits" in
+        Tel.Counter.inc c;
+        Tel.Counter.add c 4;
+        Alcotest.(check int) "value" 5 (Tel.Counter.value c);
+        (* same name + labels resolves to the same cell, any label order *)
+        let c' = Tel.Counter.v r ~labels:[ ("b", "2"); ("a", "1") ] "hits" in
+        let c'' = Tel.Counter.v r ~labels:[ ("a", "1"); ("b", "2") ] "hits" in
+        Tel.Counter.inc c';
+        Tel.Counter.inc c'';
+        Alcotest.(check int) "shared cell" 2 (Tel.Counter.value c');
+        Alcotest.(check int) "plain cell untouched" 5 (Tel.Counter.value c));
+    Alcotest.test_case "kind mismatch is rejected" `Quick (fun () ->
+        let r = fresh () in
+        ignore (Tel.Counter.v r "m");
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Tel.Histogram.v r "m");
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "gauge keeps the last value" `Quick (fun () ->
+        let r = fresh () in
+        let g = Tel.Gauge.v r "depth" in
+        Tel.Gauge.set g 3.5;
+        Tel.Gauge.set g 1.25;
+        Alcotest.(check (float 1e-12)) "last write wins" 1.25 (Tel.Gauge.value g));
+    Alcotest.test_case "histogram buckets and quantiles" `Quick (fun () ->
+        (* bucket layout invariants *)
+        Alcotest.(check bool) "lower bound honors bucket_of" true
+          (List.for_all
+             (fun v ->
+               let b = Tel.Histogram.bucket_of v in
+               b >= 0 && b < Tel.Histogram.bucket_count && Tel.Histogram.bucket_lower b <= v)
+             [ 1e-9; 0.001; 1.0; 3.7; 1e6 ]);
+        let r = fresh () in
+        let h = Tel.Histogram.v r "lat" in
+        List.iter (Tel.Histogram.observe h) [ 0.001; 0.002; 0.004; 0.008; 1.0 ];
+        let s = Tel.Histogram.snapshot h in
+        Alcotest.(check int) "count" 5 s.Tel.Histogram.count;
+        Alcotest.(check (float 1e-9)) "sum" 1.015 s.Tel.Histogram.sum;
+        Alcotest.(check (float 1e-12)) "min" 0.001 s.Tel.Histogram.min_v;
+        Alcotest.(check (float 1e-12)) "max" 1.0 s.Tel.Histogram.max_v;
+        let q50 = Tel.Histogram.quantile s 0.5 in
+        Alcotest.(check bool) "p50 in range" true (q50 >= 0.001 && q50 <= 1.0);
+        Alcotest.(check (float 1e-12)) "p100 clamps to max" 1.0 (Tel.Histogram.quantile s 1.0);
+        Alcotest.(check (float 1e-12)) "empty mean" 0.0 (Tel.Histogram.mean Tel.Histogram.empty));
+    Alcotest.test_case "histogram merge is associative with empty identity" `Quick (fun () ->
+        let mk vs =
+          let r = fresh () in
+          let h = Tel.Histogram.v r "x" in
+          List.iter (Tel.Histogram.observe h) vs;
+          Tel.Histogram.snapshot h
+        in
+        let a = mk [ 0.001; 0.5 ] and b = mk [ 2.0 ] and c = mk [ 1e-6; 30.0; 0.25 ] in
+        let eq what x y =
+          Alcotest.(check int) (what ^ " count") x.Tel.Histogram.count y.Tel.Histogram.count;
+          Alcotest.(check (float 1e-9)) (what ^ " sum") x.Tel.Histogram.sum y.Tel.Histogram.sum;
+          Alcotest.(check (float 1e-12)) (what ^ " min") x.Tel.Histogram.min_v y.Tel.Histogram.min_v;
+          Alcotest.(check (float 1e-12)) (what ^ " max") x.Tel.Histogram.max_v y.Tel.Histogram.max_v;
+          Alcotest.(check bool) (what ^ " buckets") true
+            (x.Tel.Histogram.buckets = y.Tel.Histogram.buckets)
+        in
+        let ( + ) = Tel.Histogram.merge in
+        eq "assoc" ((a + b) + c) (a + (b + c));
+        eq "comm" (a + b) (b + a);
+        eq "identity" (a + Tel.Histogram.empty) a;
+        eq "all" ((a + b) + c) (mk [ 0.001; 0.5; 2.0; 1e-6; 30.0; 0.25 ]));
+    Alcotest.test_case "snapshot reset isolates rounds" `Quick (fun () ->
+        let r = fresh () in
+        let c = Tel.Counter.v r "n" and h = Tel.Histogram.v r "t" in
+        Tel.Counter.add c 7;
+        Tel.Histogram.observe h 0.5;
+        Tel.Span.with_ r "work" (fun () -> ());
+        let s1 = Tel.Snapshot.take ~reset:true r in
+        Alcotest.(check int) "round 1 counter" 7 (Tel.Snapshot.counter_sum s1 "n");
+        Alcotest.(check int) "round 1 spans" 1 (Tel.Snapshot.span_count s1 "work");
+        (* after reset, the old handles still work but start from zero *)
+        Tel.Counter.inc c;
+        let s2 = Tel.Snapshot.take r in
+        Alcotest.(check int) "round 2 counter" 1 (Tel.Snapshot.counter_sum s2 "n");
+        Alcotest.(check (float 1e-12)) "round 2 histogram" 0.0 (Tel.Snapshot.hist_sum s2 "t");
+        Alcotest.(check int) "round 2 spans" 0 (Tel.Snapshot.span_count s2 "work"));
+    Alcotest.test_case "span nesting tracks depth" `Quick (fun () ->
+        let r = fresh () in
+        Tel.Span.with_ r "outer" (fun () ->
+            Tel.Span.with_ r "inner" (fun () -> ());
+            Tel.Span.with_ r "inner" (fun () -> ()));
+        let s = Tel.Snapshot.take r in
+        Alcotest.(check int) "three spans" 3 (List.length s.Tel.Snapshot.spans);
+        List.iter
+          (fun (sp : Tel.Snapshot.span) ->
+            let expect = if sp.name = "outer" then 0 else 1 in
+            Alcotest.(check int) ("depth of " ^ sp.name) expect sp.depth;
+            Alcotest.(check string) "wall clock" "wall" sp.clock;
+            Alcotest.(check bool) "nonneg" true (sp.ts >= 0.0 && sp.dur >= 0.0))
+          s.Tel.Snapshot.spans;
+        (* exception safety: the span is recorded and depth restored *)
+        (try Tel.Span.with_ r "boom" (fun () -> failwith "x") with Failure _ -> ());
+        Tel.Span.with_ r "after" (fun () -> ());
+        let s2 = Tel.Snapshot.take r in
+        List.iter
+          (fun n -> Alcotest.(check int) (n ^ " at depth 0") 0
+             (List.find (fun (sp : Tel.Snapshot.span) -> sp.name = n) s2.Tel.Snapshot.spans).depth)
+          [ "boom"; "after" ]);
+    Alcotest.test_case "simulated clock spans share the wall schema" `Quick (fun () ->
+        let wall = fresh () in
+        Tel.Counter.add (Tel.Counter.v wall ~labels:[ ("server", "0") ] "mix.onions_in") 5;
+        Tel.Span.with_ wall "round.addfriend" (fun () -> ());
+        let sw = Tel.Snapshot.take wall in
+        (* same instrumentation driven by the DES clock *)
+        let des = Des.create () in
+        let sim = Tel.create ~clock:(fun () -> Des.now des) ~clock_kind:"sim" () in
+        Tel.Counter.add (Tel.Counter.v sim ~labels:[ ("server", "0") ] "mix.onions_in") 5;
+        Des.schedule des ~at:2.0 (fun () ->
+            Tel.Span.emit sim ~name:"round.addfriend" ~ts:(Des.now des) ~dur:3.0 ());
+        Des.run des;
+        let ss = Tel.Snapshot.take sim in
+        Alcotest.(check string) "clock kind" "sim" ss.Tel.Snapshot.clock;
+        let sp = List.hd ss.Tel.Snapshot.spans in
+        Alcotest.(check string) "span clock" "sim" sp.Tel.Snapshot.clock;
+        Alcotest.(check (float 1e-9)) "simulated ts" 2.0 sp.Tel.Snapshot.ts;
+        Alcotest.(check (float 1e-9)) "simulated dur" 3.0 sp.Tel.Snapshot.dur;
+        (* identical JSON schema: same key set in both exports *)
+        let keys s =
+          let j = Tel.Snapshot.to_json s in
+          List.filter
+            (fun k -> k <> "")
+            (List.map
+               (fun part ->
+                 match String.index_opt part '"' with
+                 | Some 0 -> ( match String.index_from_opt part 1 '"' with
+                               | Some e -> String.sub part 1 (e - 1)
+                               | None -> "" )
+                 | _ -> "")
+               (String.split_on_char ',' (String.concat "," (String.split_on_char '{' j))))
+          |> List.sort_uniq compare
+        in
+        Alcotest.(check (list string)) "schema keys match" (keys sw) (keys ss));
+    Alcotest.test_case "with_clock restores and re-anchors" `Quick (fun () ->
+        let r = fresh () in
+        let des = Des.create () in
+        Des.schedule des ~at:5.0 (fun () -> ());
+        Tel.with_clock r ~kind:"sim" (fun () -> Des.now des) (fun () ->
+            Alcotest.(check string) "inside" "sim" (Tel.clock_kind r);
+            Des.run des;
+            Tel.Span.emit r ~name:"evt" ~ts:(Des.now des) ~dur:1.0 ());
+        Alcotest.(check string) "restored" "wall" (Tel.clock_kind r);
+        let s = Tel.Snapshot.take r in
+        let sp = List.hd s.Tel.Snapshot.spans in
+        Alcotest.(check string) "span kept sim clock" "sim" sp.Tel.Snapshot.clock;
+        Alcotest.(check (float 1e-9)) "span kept sim ts" 5.0 sp.Tel.Snapshot.ts);
+    Alcotest.test_case "exporters emit valid JSON" `Quick (fun () ->
+        let r = fresh () in
+        Tel.Counter.add (Tel.Counter.v r ~labels:[ ("server", "1") ] "mix.onions_in") 3;
+        Tel.Gauge.set (Tel.Gauge.v r "load") 0.5;
+        Tel.Histogram.observe (Tel.Histogram.v r "lat\"ency\\") 0.004;
+        Tel.Span.with_ r ~labels:[ ("server", "1") ] "mix.server_process" (fun () -> ());
+        let s = Tel.Snapshot.take r in
+        Alcotest.(check bool) "to_json" true (Tel.Json.is_valid (Tel.Snapshot.to_json s));
+        Alcotest.(check bool) "to_chrome_trace" true
+          (Tel.Json.is_valid (Tel.Snapshot.to_chrome_trace s));
+        (* the table printer must not raise *)
+        ignore (Format.asprintf "%a" Tel.Snapshot.pp_table s));
+    Alcotest.test_case "Json.is_valid agrees with RFC 8259" `Quick (fun () ->
+        List.iter
+          (fun j -> Alcotest.(check bool) ("valid: " ^ j) true (Tel.Json.is_valid j))
+          [
+            "{}"; "[]"; "null"; "true"; "-0.5e-3"; "\"a\\u00e9\\n\"";
+            "{\"a\":[1,2,{\"b\":null}],\"c\":\"\"}"; " [ 1 , 2 ] ";
+          ];
+        List.iter
+          (fun j -> Alcotest.(check bool) ("invalid: " ^ j) false (Tel.Json.is_valid j))
+          [
+            ""; "{"; "[1,]"; "{\"a\":}"; "{a:1}"; "01"; "1.2.3"; "\"unterminated";
+            "\"bad\\x\""; "nulll"; "[1] trailing"; "+1"; "\"\\u12g4\"";
+          ]);
+  ]
+
+let suite = unit_tests
