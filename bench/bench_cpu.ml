@@ -39,6 +39,10 @@ let cpu () =
   let t_unwrap = time_ns "onion-unwrap" (fun () -> Onion.unwrap pr ~sk:ssk onion) in
   let bls_sk, _ = Bls.keygen pr rng in
   let t_sign = time_ns "bls-sign" (fun () -> Bls.sign pr bls_sk "msg") in
+  let scalar = Drbg.bigint_below rng pr.Params.q in
+  let t_smul = time_ns "g1-scalar-mult" (fun () -> Curve.mul pr.Params.fp scalar pr.Params.g) in
+  ignore (Params.mul_g pr scalar) (* force the comb table before timing *);
+  let t_smul_fb = time_ns "g1-scalar-mult-fixed" (fun () -> Params.mul_g pr scalar) in
 
   row [ pad 22 "operation"; padl 12 "this impl"; pad 34 "  paper (Go + AMD64 asm, BN-256)" ];
   row [ pad 22 "IBE decrypt"; padl 12 (human_time t_ibe_dec); pad 34 "  1.25 ms (800/s/core)" ];
@@ -49,6 +53,8 @@ let cpu () =
   row [ pad 22 "sha256 (64 B)"; padl 12 (human_time t_sha); pad 34 "  -" ];
   row [ pad 22 "onion layer unwrap"; padl 12 (human_time t_unwrap); pad 34 "  ~0.14 ms (fitted)" ];
   row [ pad 22 "BLS sign"; padl 12 (human_time t_sign); pad 34 "  -" ];
+  row [ pad 22 "G1 scalar mult"; padl 12 (human_time t_smul); pad 34 "  -" ];
+  row [ pad 22 "G1 fixed-base mult"; padl 12 (human_time t_smul_fb); pad 34 "  -" ];
 
   header "Derived rates";
   Printf.printf "IBE decryptions/s/core: %.0f (paper: 800)\n" (1e9 /. t_ibe_dec);

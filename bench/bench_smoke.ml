@@ -61,6 +61,9 @@ let smoke () =
   let wall = Tel.Snapshot.take ~reset:true Tel.default in
   if wall.clock <> "wall" then fail "real round snapshot clock = %S, expected wall" wall.clock;
   if Tel.Snapshot.counter_sum wall "pkg.extractions" = 0 then fail "no PKG extractions recorded";
+  (* the round's IBE/BLS work must have gone through the Montgomery kernel *)
+  if Tel.Snapshot.counter_sum wall "pairing.mont_mul" = 0 then
+    fail "no Montgomery multiplications recorded — pairing fast path not in use";
   check_hops "wall snapshot" wall ~n_servers;
   check_json "wall to_json" (Tel.Snapshot.to_json wall);
   check_json "wall to_chrome_trace" (Tel.Snapshot.to_chrome_trace wall);

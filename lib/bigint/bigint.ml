@@ -249,6 +249,11 @@ let mag_divmod u v =
 let sign t = t.sign
 let is_zero t = t.sign = 0
 
+(* Expose the 31-bit limb magnitude so fixed-width kernels (Montgomery
+   arithmetic in lib/pairing) can convert without going through bytes. *)
+let to_limbs t = Array.copy t.mag
+let of_limbs limbs = make 1 (Array.copy limbs)
+
 let of_int n =
   if n = 0 then zero
   else begin

@@ -35,6 +35,14 @@ val to_hex : t -> string
 val of_bytes_be : string -> t
 (** Big-endian unsigned magnitude. *)
 
+val to_limbs : t -> int array
+(** Little-endian array of 31-bit limbs of the magnitude, no leading zero
+    limb ([[||]] for zero). Fresh copy; safe to mutate. *)
+
+val of_limbs : int array -> t
+(** Non-negative value from little-endian 31-bit limbs (each in
+    [[0, 2^31)]); leading zero limbs are allowed and stripped. *)
+
 val to_bytes_be : ?len:int -> t -> string
 (** Big-endian unsigned magnitude of the absolute value, left-padded with
     zero bytes to [len] when given.

@@ -14,7 +14,7 @@ let hash_msg (params : Params.t) msg = Pairing.hash_to_group params (message_has
 
 let blind (params : Params.t) rng ~msg =
   let r = Bigint.add Bigint.one (Drbg.bigint_below rng (Bigint.sub params.q Bigint.one)) in
-  let blinded = Curve.add params.fp (hash_msg params msg) (Curve.mul params.fp r params.g) in
+  let blinded = Curve.add params.fp (hash_msg params msg) (Params.mul_g params r) in
   (blinded, r)
 
 let sign_blinded (params : Params.t) sk blinded = Curve.mul params.fp sk blinded
@@ -28,5 +28,5 @@ let verify (params : Params.t) pk ~msg signature =
   | _ ->
     Curve.is_on_curve params.fp signature
     && Fp2.equal
-         (Pairing.pair params signature params.g)
-         (Pairing.pair params (hash_msg params msg) pk)
+         (Pairing.pair_cached params signature params.g)
+         (Pairing.pair_cached params (hash_msg params msg) pk)

@@ -11,9 +11,9 @@ type signature = Curve.point
 
 let keygen (params : Params.t) rng =
   let s = Bigint.add Bigint.one (Drbg.bigint_below rng (Bigint.sub params.q Bigint.one)) in
-  (s, Curve.mul params.fp s params.g)
+  (s, Params.mul_g params s)
 
-let public_of_secret (params : Params.t) s = Curve.mul params.fp s params.g
+let public_of_secret (params : Params.t) s = Params.mul_g params s
 
 let hash_msg (params : Params.t) msg = Pairing.hash_to_group params ("bls-msg" ^ msg)
 
@@ -23,8 +23,12 @@ let verify (params : Params.t) pk msg sg =
   match (pk, sg) with
   | Curve.Inf, _ | _, Curve.Inf -> false
   | _ ->
+    (* re-verifying the same attestation (same signer key, same round
+       message) recurs across clients in a round: both pairings memoize *)
     Curve.is_on_curve params.fp sg
-    && Fp2.equal (Pairing.pair params sg params.g) (Pairing.pair params (hash_msg params msg) pk)
+    && Fp2.equal
+         (Pairing.pair_cached params sg params.g)
+         (Pairing.pair_cached params (hash_msg params msg) pk)
 
 let aggregate (params : Params.t) sigs = List.fold_left (Curve.add params.fp) Curve.infinity sigs
 let aggregate_public = aggregate

@@ -9,9 +9,9 @@ type public = Curve.point
 
 let keygen (params : Params.t) rng =
   let s = Bigint.add Bigint.one (Drbg.bigint_below rng (Bigint.sub params.q Bigint.one)) in
-  (s, Curve.mul params.fp s params.g)
+  (s, Params.mul_g params s)
 
-let public_of_secret (params : Params.t) s = Curve.mul params.fp s params.g
+let public_of_secret (params : Params.t) s = Params.mul_g params s
 
 let shared_secret (params : Params.t) sk peer =
   match peer with

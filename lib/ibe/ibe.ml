@@ -15,9 +15,9 @@ type identity_key = Curve.point
 
 let setup (params : Params.t) rng =
   let s = Bigint.add Bigint.one (Drbg.bigint_below rng (Bigint.sub params.q Bigint.one)) in
-  (s, Curve.mul params.fp s params.g)
+  (s, Params.mul_g params s)
 
-let master_public_of_secret (params : Params.t) s = Curve.mul params.fp s params.g
+let master_public_of_secret (params : Params.t) s = Params.mul_g params s
 
 let extract (params : Params.t) s id = Curve.mul params.fp s (Pairing.hash_to_group params id)
 
@@ -43,8 +43,10 @@ let encrypt (params : Params.t) rng mpk ~id msg =
   let fp = params.fp in
   let sigma = Drbg.bytes rng 32 in
   let r = h3 params sigma msg in
-  let u = Curve.mul fp r params.g in
-  let g_id = Pairing.pair params (Pairing.hash_to_group params id) mpk in
+  let u = Params.mul_g params r in
+  (* e(H(id), mpk) is fixed per (recipient, PKG) — every request to the
+     same master key hits the pairing cache *)
+  let g_id = Pairing.pair_cached params (Pairing.hash_to_group params id) mpk in
   let mask = h2 (Pairing.gt_bytes params (Alpenhorn_pairing.Fp2.pow fp g_id r)) in
   let v = Util.xor sigma mask in
   let w = Chacha20.xor_stream ~key:(h4 sigma) ~nonce:stream_nonce msg in
@@ -67,7 +69,7 @@ let decrypt (params : Params.t) d_id ctxt =
         let msg = Chacha20.xor_stream ~key:(h4 sigma) ~nonce:stream_nonce w in
         let r = h3 params sigma msg in
         (* Fujisaki-Okamoto consistency check: U must equal rP *)
-        if Curve.equal u (Curve.mul fp r params.g) then Some msg else None
+        if Curve.equal u (Params.mul_g params r) then Some msg else None
       end
   end
 

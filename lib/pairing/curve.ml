@@ -133,7 +133,7 @@ module Jac = struct
     end
 end
 
-let mul f k p =
+let mul_jacobian f k p =
   if Bigint.sign k < 0 then invalid_arg "Curve.mul: negative scalar";
   let nb = Bigint.numbits k in
   let acc = ref Jac.infinity and b = ref (Jac.of_affine p) in
@@ -142,6 +142,171 @@ let mul f k p =
     b := Jac.double f !b
   done;
   Jac.to_affine f !acc
+
+(* Jacobian coordinates over the fixed-limb Montgomery kernel: the same
+   dbl-2009-l / add-2007-bl formulas as [Jac], but every field operation is
+   a flat int-array CIOS multiplication instead of Bigint + Barrett. This
+   is what [mul], the fixed-base tables and the pairing's Miller loop run
+   on; [Jac] and [mul_affine] stay as the references the property tests
+   compare against. *)
+module Jm = struct
+  type t = { x : Mont.el; y : Mont.el; z : Mont.el }
+
+  let infinity ctx = { x = Mont.one ctx; y = Mont.one ctx; z = Mont.zero ctx }
+  let is_infinity p = Mont.is_zero p.z
+
+  let of_affine ctx = function
+    | Inf -> infinity ctx
+    | Affine { x; y } -> { x = Mont.of_bigint ctx x; y = Mont.of_bigint ctx y; z = Mont.one ctx }
+
+  let to_affine ctx p =
+    if is_infinity p then Inf
+    else begin
+      let zinv = Mont.inv ctx p.z in
+      let zinv2 = Mont.sqr ctx zinv in
+      Affine
+        {
+          x = Mont.to_bigint ctx (Mont.mul ctx p.x zinv2);
+          y = Mont.to_bigint ctx (Mont.mul ctx p.y (Mont.mul ctx zinv2 zinv));
+        }
+    end
+
+  let double ctx p =
+    if is_infinity p || Mont.is_zero p.y then infinity ctx
+    else begin
+      let a = Mont.sqr ctx p.x in
+      let b = Mont.sqr ctx p.y in
+      let c = Mont.sqr ctx b in
+      let t = Mont.sqr ctx (Mont.add ctx p.x b) in
+      let d = Mont.mul_small ctx (Mont.sub ctx (Mont.sub ctx t a) c) 2 in
+      let e = Mont.mul_small ctx a 3 in
+      let ff = Mont.sqr ctx e in
+      let x3 = Mont.sub ctx ff (Mont.mul_small ctx d 2) in
+      let y3 = Mont.sub ctx (Mont.mul ctx e (Mont.sub ctx d x3)) (Mont.mul_small ctx c 8) in
+      let z3 = Mont.mul_small ctx (Mont.mul ctx p.y p.z) 2 in
+      { x = x3; y = y3; z = z3 }
+    end
+
+  let add ctx p q =
+    if is_infinity p then q
+    else if is_infinity q then p
+    else begin
+      let z1z1 = Mont.sqr ctx p.z in
+      let z2z2 = Mont.sqr ctx q.z in
+      let u1 = Mont.mul ctx p.x z2z2 in
+      let u2 = Mont.mul ctx q.x z1z1 in
+      let s1 = Mont.mul ctx p.y (Mont.mul ctx q.z z2z2) in
+      let s2 = Mont.mul ctx q.y (Mont.mul ctx p.z z1z1) in
+      if Mont.equal u1 u2 then begin
+        if Mont.equal s1 s2 then double ctx p else infinity ctx
+      end
+      else begin
+        let h = Mont.sub ctx u2 u1 in
+        let i = Mont.sqr ctx (Mont.mul_small ctx h 2) in
+        let j = Mont.mul ctx h i in
+        let r = Mont.mul_small ctx (Mont.sub ctx s2 s1) 2 in
+        let v = Mont.mul ctx u1 i in
+        let x3 = Mont.sub ctx (Mont.sub ctx (Mont.sqr ctx r) j) (Mont.mul_small ctx v 2) in
+        let y3 =
+          Mont.sub ctx (Mont.mul ctx r (Mont.sub ctx v x3))
+            (Mont.mul_small ctx (Mont.mul ctx s1 j) 2)
+        in
+        let z3 =
+          Mont.mul ctx
+            (Mont.sub ctx (Mont.sqr ctx (Mont.add ctx p.z q.z)) (Mont.add ctx z1z1 z2z2))
+            h
+        in
+        { x = x3; y = y3; z = z3 }
+      end
+    end
+end
+
+let window_bits = 4
+
+(* bits [4w .. 4w+3] of k *)
+let digit k w =
+  let b = window_bits * w in
+  (if Bigint.testbit k b then 1 else 0)
+  lor (if Bigint.testbit k (b + 1) then 2 else 0)
+  lor (if Bigint.testbit k (b + 2) then 4 else 0)
+  lor (if Bigint.testbit k (b + 3) then 8 else 0)
+
+(* odd multiples would halve the table, but 1..15 keeps the window loop
+   branch-free: one add per nonzero digit, no signed recoding *)
+let small_multiples ctx base =
+  let tbl = Array.make 16 base in
+  tbl.(0) <- Jm.infinity ctx;
+  for i = 2 to 15 do
+    tbl.(i) <- (if i land 1 = 0 then Jm.double ctx tbl.(i lsr 1) else Jm.add ctx tbl.(i - 1) base)
+  done;
+  tbl
+
+let mul f k p =
+  if Bigint.sign k < 0 then invalid_arg "Curve.mul: negative scalar";
+  match p with
+  | Inf -> Inf
+  | Affine _ when Bigint.is_zero k -> Inf
+  | Affine _ ->
+    let ctx = Field.mont_ctx f in
+    let tbl = small_multiples ctx (Jm.of_affine ctx p) in
+    let nwin = (Bigint.numbits k + window_bits - 1) / window_bits in
+    let acc = ref (Jm.infinity ctx) in
+    for w = nwin - 1 downto 0 do
+      if w < nwin - 1 then begin
+        acc := Jm.double ctx !acc;
+        acc := Jm.double ctx !acc;
+        acc := Jm.double ctx !acc;
+        acc := Jm.double ctx !acc
+      end;
+      let d = digit k w in
+      if d <> 0 then acc := Jm.add ctx !acc tbl.(d)
+    done;
+    Jm.to_affine ctx !acc
+
+(* Fixed-base comb: for a long-lived point (the generator, a PKG master
+   key) precompute j·2^(4i)·P for every window i and digit j, turning each
+   scalar multiplication into ~numbits(k)/4 additions and no doublings. *)
+module Fixed_base = struct
+  type table = { point : point; windows : Jm.t array array (* windows.(i).(j-1) = j·2^(4i)·P *) }
+
+  let make f p =
+    match p with
+    | Inf -> { point = p; windows = [||] }
+    | Affine _ ->
+      let ctx = Field.mont_ctx f in
+      (* cover any scalar below p; protocol scalars are below q < p *)
+      let nwin = (Bigint.numbits (Field.modulus f) + window_bits - 1) / window_bits in
+      let windows = Array.make nwin [||] in
+      let b = ref (Jm.of_affine ctx p) in
+      for i = 0 to nwin - 1 do
+        let row = Array.make 15 !b in
+        for j = 1 to 14 do
+          row.(j) <- Jm.add ctx row.(j - 1) !b
+        done;
+        windows.(i) <- row;
+        (* 2^(4(i+1))·P = 2 · (8·2^(4i)·P) *)
+        b := Jm.double ctx row.(7)
+      done;
+      { point = p; windows }
+
+  let mul f tbl k =
+    if Bigint.sign k < 0 then invalid_arg "Curve.Fixed_base.mul: negative scalar";
+    match tbl.point with
+    | Inf -> Inf
+    | Affine _ when Bigint.is_zero k -> Inf
+    | Affine _ ->
+      let nwin = Array.length tbl.windows in
+      if Bigint.numbits k > window_bits * nwin then mul f k tbl.point
+      else begin
+        let ctx = Field.mont_ctx f in
+        let acc = ref (Jm.infinity ctx) in
+        for w = 0 to nwin - 1 do
+          let d = digit k w in
+          if d <> 0 then acc := Jm.add ctx !acc tbl.windows.(w).(d - 1)
+        done;
+        Jm.to_affine ctx !acc
+      end
+end
 
 let point_bytes f = Field.element_bytes f + 1
 
@@ -158,9 +323,9 @@ let of_bytes f s =
     let n = Field.element_bytes f in
     match s.[n] with
     | '\x00' | '\x01' -> begin
-      match Field.of_bytes f (String.sub s 0 n) with
-      | exception Invalid_argument _ -> None
-      | x ->
+      match Field.of_bytes_opt f (String.sub s 0 n) with
+      | None -> None
+      | Some x ->
         let rhs = Field.add f (Field.mul f (Field.sqr f x) x) Bigint.one in
         (match Field.sqrt f rhs with
          | None -> None

@@ -19,12 +19,32 @@ val neg : Field.t -> point -> point
 val add : Field.t -> point -> point -> point
 val double : Field.t -> point -> point
 val mul : Field.t -> Bigint.t -> point -> point
-(** Scalar multiplication: double-and-add over Jacobian coordinates, one
-    field inversion total (the hot path of IBE, BLS and DH). *)
+(** Scalar multiplication: windowed (w = 4) double-and-add over Jacobian
+    coordinates on the fixed-limb Montgomery kernel, one field inversion
+    total (the hot path of IBE, BLS and DH). *)
+
+val mul_jacobian : Field.t -> Bigint.t -> point -> point
+(** Reference double-and-add over Bigint Jacobian coordinates (the
+    pre-Montgomery hot path, kept for cross-validation). *)
 
 val mul_affine : Field.t -> Bigint.t -> point -> point
 (** Reference ladder over affine operations (one inversion per step);
-    property tests check [mul] against it. *)
+    property tests check [mul] and [mul_jacobian] against it. *)
+
+(** Precomputed tables for long-lived base points (the generator, PKG
+    master keys): [mul] over a table costs ~one point addition per
+    4 scalar bits and no doublings. *)
+module Fixed_base : sig
+  type table
+
+  val make : Field.t -> point -> table
+  (** Precompute windows covering any scalar below the field modulus
+      (~60 point operations per window row at production sizes). *)
+
+  val mul : Field.t -> table -> Bigint.t -> point
+  (** Falls back to the generic path for scalars wider than the table.
+      @raise Invalid_argument on negative scalars. *)
+end
 
 val point_bytes : Field.t -> int
 (** Serialized size: one field element plus a parity byte. *)

@@ -7,6 +7,7 @@ type t = {
   sqrt_exp : Bigint.t; (* (p+1)/4 *)
   cbrt_exp : Bigint.t; (* (2p-1)/3 *)
   nbytes : int;
+  mont : Mont.ctx Lazy.t; (* fixed-limb Montgomery kernel for this modulus *)
 }
 
 let create p =
@@ -21,10 +22,12 @@ let create p =
     sqrt_exp = Bigint.div (Bigint.add p Bigint.one) (Bigint.of_int 4);
     cbrt_exp = Bigint.div (Bigint.sub (Bigint.mul_int p 2) Bigint.one) (Bigint.of_int 3);
     nbytes = (k + 7) / 8;
+    mont = lazy (Mont.create p);
   }
 
 let modulus f = f.p
 let element_bytes f = f.nbytes
+let mont_ctx f = Lazy.force f.mont
 
 let reduce f x =
   if Bigint.sign x < 0 then Bigint.rem x f.p
@@ -77,8 +80,14 @@ let cbrt f a = pow f a f.cbrt_exp
 
 let to_bytes f a = Bigint.to_bytes_be ~len:f.nbytes a
 
+let of_bytes_opt f s =
+  if String.length s <> f.nbytes then None
+  else begin
+    let v = Bigint.of_bytes_be s in
+    if Bigint.compare v f.p >= 0 then None else Some v
+  end
+
 let of_bytes f s =
-  if String.length s <> f.nbytes then invalid_arg "Field.of_bytes: width";
-  let v = Bigint.of_bytes_be s in
-  if Bigint.compare v f.p >= 0 then invalid_arg "Field.of_bytes: not canonical";
-  v
+  match of_bytes_opt f s with
+  | Some v -> v
+  | None -> invalid_arg "Field.of_bytes: malformed"

@@ -22,6 +22,11 @@ val modulus : t -> Bigint.t
 val element_bytes : t -> int
 (** Fixed serialized size of one element. *)
 
+val mont_ctx : t -> Mont.ctx
+(** The field's fixed-limb Montgomery kernel (built lazily on first use
+    and shared thereafter) — the hot path under {!Curve.mul} and the
+    Miller loop. *)
+
 val reduce : t -> Bigint.t -> Bigint.t
 (** Barrett reduction of any non-negative value < p²; falls back to general
     division otherwise (and for negative inputs). *)
@@ -48,6 +53,11 @@ val equal : Bigint.t -> Bigint.t -> bool
 
 val to_bytes : t -> Bigint.t -> string
 (** Fixed-width big-endian. *)
+
+val of_bytes_opt : t -> string -> Bigint.t option
+(** Total decoder: [None] if not canonical (≥ p or wrong width). Wire
+    paths use this so attacker-controlled bytes surface as a decode
+    failure, never an exception. *)
 
 val of_bytes : t -> string -> Bigint.t
 (** @raise Invalid_argument if not canonical (≥ p or wrong width). *)

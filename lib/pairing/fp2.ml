@@ -49,5 +49,9 @@ let to_bytes f a = Field.to_bytes f a.re ^ Field.to_bytes f a.im
 
 let of_bytes f s =
   let n = Field.element_bytes f in
-  if String.length s <> 2 * n then invalid_arg "Fp2.of_bytes: width";
-  { re = Field.of_bytes f (String.sub s 0 n); im = Field.of_bytes f (String.sub s n n) }
+  if String.length s <> 2 * n then None
+  else begin
+    match (Field.of_bytes_opt f (String.sub s 0 n), Field.of_bytes_opt f (String.sub s n n)) with
+    | Some re, Some im -> Some { re; im }
+    | _ -> None
+  end

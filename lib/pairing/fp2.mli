@@ -33,4 +33,5 @@ val pow : Field.t -> el -> Bigint.t -> el
 val to_bytes : Field.t -> el -> string
 (** [re || im], each fixed width. *)
 
-val of_bytes : Field.t -> string -> el
+val of_bytes : Field.t -> string -> el option
+(** Total decoder: [None] on wrong width or non-canonical components. *)

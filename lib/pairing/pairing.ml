@@ -1,5 +1,6 @@
 module Bigint = Alpenhorn_bigint.Bigint
 module Sha256 = Alpenhorn_crypto.Sha256
+module Tel = Alpenhorn_telemetry.Telemetry
 
 (* Evaluate the line through [t] and [u] (tangent if equal) at the distorted
    point (xq, yq) ∈ F_p², and the vertical line at [t + u]. Returns
@@ -15,8 +16,9 @@ let line_and_add fp t u ~xq ~yq =
     ((l, Fp2.one, Curve.add fp t u) : Fp2.el * Fp2.el * Curve.point)
   | Curve.Affine a, Curve.Affine b ->
     let tangent = Bigint.equal a.x b.x && Bigint.equal a.y b.y in
-    if Bigint.equal a.x b.x && not tangent then begin
-      (* u = -t: chord is the vertical through t; t+u = O so v ≡ 1 *)
+    if Bigint.equal a.x b.x && (not tangent || Field.is_zero a.y) then begin
+      (* u = -t (chord is the vertical through t), or t is 2-torsion (the
+         tangent at y = 0 is that same vertical); t+u = O so v ≡ 1 *)
       (Fp2.sub fp xq (Fp2.of_fp a.x), Fp2.one, Curve.Inf)
     end
     else begin
@@ -54,7 +56,7 @@ let miller (params : Params.t) p ~xq ~yq =
   done;
   Fp2.mul fp !num (Fp2.inv fp !den)
 
-let pair (params : Params.t) a b =
+let pair_reference (params : Params.t) a b =
   match (a, b) with
   | Curve.Inf, _ | _, Curve.Inf -> invalid_arg "Pairing.pair: point at infinity"
   | Curve.Affine _, Curve.Affine { x = bx; y = by } ->
@@ -64,6 +66,196 @@ let pair (params : Params.t) a b =
     let yq = Fp2.of_fp by in
     let f = miller params a ~xq ~yq in
     Fp2.pow fp f params.tate_exp
+
+(* ---- Montgomery-kernel Miller loop ----
+
+   Same algorithm as [miller], but the first argument is tracked in
+   Jacobian coordinates over [Mont] so the loop needs no field inversions,
+   and every line/vertical evaluation is scaled by a factor in F_p*
+   (powers of Z and small constants). The scaling is free: the final
+   exponent is (p² − 1)/q = (p − 1)·12l, and c^(p−1) = 1 for any
+   c ∈ F_p*, so every base-field scale factor dies in the final
+   exponentiation and [pair] equals [pair_reference] exactly (the
+   property tests check this on random inputs).
+
+   Line formulas, anchored at the affine current point (X/Z², Y/Z³) and
+   cleared of denominators:
+
+   - tangent (doubling), scaled by 2y₀Z⁶:
+       l = Z3·ZZ·yq − 2Y² − 3X²·(ZZ·xq − X)         with Z3 = 2YZ
+   - chord through T and affine P = (px, py), scaled by 2Z³(px − x₀):
+       l = Z3·(yq − py) − r·(xq − px)                with r = 2(S2 − Y),
+                                                     Z3 = 2ZH
+   - vertical at T' = (X', Y', Z'), scaled by Z'²:
+       v = Z'²·xq − X'
+
+   The squared Z of the current point is carried alongside (X, Y, Z) so
+   each step reuses it instead of re-squaring. *)
+
+let miller_fast (params : Params.t) a ~bx ~by =
+  let ctx = Field.mont_ctx params.fp in
+  let module M = Mont in
+  let module F2 = Mont.F2 in
+  (* distorted second argument: Q = (ζ·bx, by) *)
+  let bxm = M.of_bigint ctx bx in
+  let xq =
+    {
+      F2.re = M.mul ctx (M.of_bigint ctx params.zeta.Fp2.re) bxm;
+      im = M.mul ctx (M.of_bigint ctx params.zeta.Fp2.im) bxm;
+    }
+  in
+  let yq = F2.of_el ctx (M.of_bigint ctx by) in
+  (* affine Montgomery form of the (always affine here) first argument *)
+  let px, py = match a with Curve.Affine { x; y } -> (M.of_bigint ctx x, M.of_bigint ctx y) | Curve.Inf -> assert false in
+  (* current multiple of [a]: Jacobian with cached Z², infinity iff Z = 0 *)
+  let tx = ref px and ty = ref py and tz = ref (M.one ctx) and tzz = ref (M.one ctx) in
+  let num = ref (F2.one ctx) and den = ref (F2.one ctx) in
+  let f2one = F2.one ctx in
+  let mul_line target l = if l != f2one then target := F2.mul ctx !target l in
+  (* double T, returning (line, vertical) *)
+  let dbl_step () =
+    if M.is_zero !tz then (f2one, f2one)
+    else if M.is_zero !ty then begin
+      (* 2-torsion: the tangent at y = 0 is the vertical through T *)
+      let l = F2.sub_el ctx (F2.mul_el ctx xq !tzz) !tx in
+      tz := M.zero ctx;
+      (l, f2one)
+    end
+    else begin
+      let x = !tx and y = !ty and z = !tz and zz = !tzz in
+      let a2 = M.sqr ctx x in
+      let b = M.sqr ctx y in
+      let c = M.sqr ctx b in
+      let t = M.sqr ctx (M.add ctx x b) in
+      let d = M.mul_small ctx (M.sub ctx (M.sub ctx t a2) c) 2 in
+      let e = M.mul_small ctx a2 3 in
+      let f = M.sqr ctx e in
+      let x3 = M.sub ctx f (M.mul_small ctx d 2) in
+      let y3 = M.sub ctx (M.mul ctx e (M.sub ctx d x3)) (M.mul_small ctx c 8) in
+      let z3 = M.mul_small ctx (M.mul ctx y z) 2 in
+      let zz3 = M.sqr ctx z3 in
+      let l =
+        F2.sub ctx
+          (F2.sub_el ctx (F2.mul_el ctx yq (M.mul ctx z3 zz)) (M.mul_small ctx b 2))
+          (F2.mul_el ctx (F2.sub_el ctx (F2.mul_el ctx xq zz) x) e)
+      in
+      let v = F2.sub_el ctx (F2.mul_el ctx xq zz3) x3 in
+      tx := x3;
+      ty := y3;
+      tz := z3;
+      tzz := zz3;
+      (l, v)
+    end
+  in
+  (* add the affine base point P to T (madd-2007-bl), returning (line,
+     vertical) *)
+  let add_step () =
+    if M.is_zero !tz then begin
+      (* O + P = P; the "line" is the vertical through P *)
+      tx := px;
+      ty := py;
+      tz := M.one ctx;
+      tzz := M.one ctx;
+      (F2.sub_el ctx xq px, f2one)
+    end
+    else begin
+      let x = !tx and y = !ty and z = !tz and zz = !tzz in
+      let u2 = M.mul ctx px zz in
+      let s2 = M.mul ctx py (M.mul ctx z zz) in
+      if M.equal u2 x then begin
+        if M.equal s2 y then dbl_step ()
+        else begin
+          (* P = -T: the chord is the vertical through T; T + P = O *)
+          let l = F2.sub_el ctx (F2.mul_el ctx xq zz) x in
+          tz := M.zero ctx;
+          (l, f2one)
+        end
+      end
+      else begin
+        let h = M.sub ctx u2 x in
+        let hh = M.sqr ctx h in
+        let i = M.mul_small ctx hh 4 in
+        let j = M.mul ctx h i in
+        let r = M.mul_small ctx (M.sub ctx s2 y) 2 in
+        let v = M.mul ctx x i in
+        let x3 = M.sub ctx (M.sub ctx (M.sqr ctx r) j) (M.mul_small ctx v 2) in
+        let y3 = M.sub ctx (M.mul ctx r (M.sub ctx v x3)) (M.mul_small ctx (M.mul ctx y j) 2) in
+        let z3 = M.sub ctx (M.sub ctx (M.sqr ctx (M.add ctx z h)) zz) hh in
+        let zz3 = M.sqr ctx z3 in
+        let l =
+          F2.sub ctx
+            (F2.mul_el ctx (F2.sub_el ctx yq py) z3)
+            (F2.mul_el ctx (F2.sub_el ctx xq px) r)
+        in
+        let vline = F2.sub_el ctx (F2.mul_el ctx xq zz3) x3 in
+        tx := x3;
+        ty := y3;
+        tz := z3;
+        tzz := zz3;
+        (l, vline)
+      end
+    end
+  in
+  let q = params.q in
+  for i = Bigint.numbits q - 2 downto 0 do
+    num := F2.sqr ctx !num;
+    den := F2.sqr ctx !den;
+    let l, v = dbl_step () in
+    mul_line num l;
+    mul_line den v;
+    if Bigint.testbit q i then begin
+      let l, v = add_step () in
+      mul_line num l;
+      mul_line den v
+    end
+  done;
+  F2.mul ctx !num (F2.inv ctx !den)
+
+let pair (params : Params.t) a b =
+  match (a, b) with
+  | Curve.Inf, _ | _, Curve.Inf -> invalid_arg "Pairing.pair: point at infinity"
+  | Curve.Affine _, Curve.Affine { x = bx; y = by } ->
+    let ctx = Field.mont_ctx params.fp in
+    let f = miller_fast params a ~bx ~by in
+    let g = Mont.F2.pow ctx f params.tate_exp in
+    Fp2.make (Mont.to_bigint ctx g.Mont.F2.re) (Mont.to_bigint ctx g.Mont.F2.im)
+
+(* ---- fixed-argument pairing cache ----
+
+   IBE encryption pairs every request against the same PKG master key, and
+   BLS verification pairs against long-lived signer keys and the fixed
+   generator, so within a round the same (a, b) pairs recur constantly.
+   The memo lives in the parameter set (params are process-wide
+   singletons) and is bounded by FIFO eviction; correctness never depends
+   on it, it is purely a latency lever. *)
+
+let pair_cache_capacity = 512
+
+let c_cache_hit = lazy (Tel.Counter.v Tel.default "pairing.cache_hits")
+let c_cache_miss = lazy (Tel.Counter.v Tel.default "pairing.cache_misses")
+
+let pair_cached (params : Params.t) a b =
+  match (a, b) with
+  | Curve.Inf, _ | _, Curve.Inf -> invalid_arg "Pairing.pair: point at infinity"
+  | Curve.Affine _, Curve.Affine _ -> begin
+    let fp = params.fp in
+    let key = Curve.to_bytes fp a ^ Curve.to_bytes fp b in
+    match Hashtbl.find_opt params.pair_cache key with
+    | Some gt ->
+      Tel.Counter.inc (Lazy.force c_cache_hit);
+      gt
+    | None ->
+      Tel.Counter.inc (Lazy.force c_cache_miss);
+      let gt = pair params a b in
+      if Hashtbl.length params.pair_cache >= pair_cache_capacity then begin
+        match Queue.take_opt params.pair_cache_fifo with
+        | Some oldest -> Hashtbl.remove params.pair_cache oldest
+        | None -> ()
+      end;
+      Hashtbl.replace params.pair_cache key gt;
+      Queue.push key params.pair_cache_fifo;
+      gt
+  end
 
 let gt_bytes (params : Params.t) el = Fp2.to_bytes params.fp el
 

@@ -8,7 +8,13 @@
 
     Denominators are kept separate during the Miller loop and inverted once
     at the end (denominator elimination does not apply: the distorted
-    point's x-coordinate is not in F_p). *)
+    point's x-coordinate is not in F_p).
+
+    [pair] runs the Miller loop in Jacobian coordinates over the
+    fixed-limb Montgomery kernel ({!Mont}) — no field inversions inside
+    the loop, every line scaled by factors in F_p* that the final
+    exponentiation kills. [pair_reference] is the affine Bigint+Barrett
+    implementation it is property-tested against. *)
 
 module Bigint = Alpenhorn_bigint.Bigint
 
@@ -16,6 +22,28 @@ val pair : Params.t -> Curve.point -> Curve.point -> Fp2.el
 (** @raise Invalid_argument if either argument is the point at infinity
     (those never arise in honest protocol runs; ciphertext decoding rejects
     them earlier). *)
+
+val pair_reference : Params.t -> Curve.point -> Curve.point -> Fp2.el
+(** Affine reference implementation; agrees with [pair] exactly. *)
+
+val pair_cached : Params.t -> Curve.point -> Curve.point -> Fp2.el
+(** [pair] through the parameter set's bounded fixed-argument memo
+    (FIFO-evicted). Callers with recurring pairs — IBE encryption to a
+    master key, BLS verification against known signers — use this; hit
+    and miss counts land on the ["pairing.cache_hits"/"pairing.cache_misses"]
+    telemetry counters. *)
+
+val line_and_add :
+  Field.t ->
+  Curve.point ->
+  Curve.point ->
+  xq:Fp2.el ->
+  yq:Fp2.el ->
+  Fp2.el * Fp2.el * Curve.point
+(** One reference Miller step: the line through [t] and [u] (tangent when
+    equal, vertical when the sum is O — including the 2-torsion tangent)
+    and the vertical at [t + u], both evaluated at [(xq, yq)]. Exposed for
+    the regression tests. *)
 
 val gt_bytes : Params.t -> Fp2.el -> string
 (** Canonical serialization of a GT element, for hashing. *)

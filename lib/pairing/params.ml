@@ -8,7 +8,12 @@ type t = {
   zeta : Fp2.el;
   g : Curve.point;
   tate_exp : Bigint.t;
+  g_table : Curve.Fixed_base.table Lazy.t;
+  pair_cache : (string, Fp2.el) Hashtbl.t;
+  pair_cache_fifo : string Queue.t;
 }
+
+let mul_g t k = Curve.Fixed_base.mul t.fp (Lazy.force t.g_table) k
 
 let is_prime rng n =
   Bigint.is_probable_prime ~rounds:24 ~rand:(fun ~bits -> Drbg.bigint_bits rng bits) n
@@ -71,6 +76,9 @@ let build q l =
     zeta;
     g;
     tate_exp = Bigint.div (Bigint.sub (Bigint.mul p p) Bigint.one) q;
+    g_table = lazy (Curve.Fixed_base.make fp g);
+    pair_cache = Hashtbl.create 64;
+    pair_cache_fifo = Queue.create ();
   }
 
 let generate rng ~qbits =

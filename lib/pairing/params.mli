@@ -19,7 +19,14 @@ type t = {
   zeta : Fp2.el; (* primitive cube root of unity, distortion map *)
   g : Curve.point; (* generator of G1 *)
   tate_exp : Bigint.t; (* (p² − 1) / q *)
+  g_table : Curve.Fixed_base.table Lazy.t; (* fixed-base windows for g *)
+  pair_cache : (string, Fp2.el) Hashtbl.t; (* fixed-argument pairing memo, see Pairing.pair_cached *)
+  pair_cache_fifo : string Queue.t; (* insertion order, for bounded eviction *)
 }
+
+val mul_g : t -> Bigint.t -> Curve.point
+(** [k·g] through the precomputed fixed-base table (built lazily on first
+    use) — every keygen / IBE ephemeral / blinding factor computes this. *)
 
 val generate : Alpenhorn_crypto.Drbg.t -> qbits:int -> t
 (** Generate a fresh parameter set with a [qbits]-bit prime group order. *)

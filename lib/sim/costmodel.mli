@@ -33,6 +33,7 @@ type machine = {
   t_ibe_decrypt : float;  (** s/core per mailbox-scan attempt *)
   t_ibe_encrypt : float;  (** s/core per noise request (add-friend) *)
   t_token : float;  (** s/core per dial-token hash *)
+  t_pairing : float;  (** s/core per Tate pairing (the IBE/BLS kernel) *)
   link_bandwidth : float;  (** bytes/s between servers *)
   client_bandwidth : float;  (** bytes/s client downlink *)
   rtt : float;  (** inter-region round trip, s *)

@@ -6,6 +6,7 @@ let () =
       ("bigint", Test_bigint.suite);
       ("crypto", Test_crypto.suite);
       ("field", Test_field.suite);
+      ("mont", Test_mont.suite);
       ("curve", Test_curve.suite);
       ("pairing", Test_pairing.suite);
       ("ibe", Test_ibe.suite);

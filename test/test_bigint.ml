@@ -216,6 +216,29 @@ let edge_tests =
         done;
         Alcotest.check_raises "zero bound" (Invalid_argument "Bigint.random_below") (fun () ->
             ignore (B.random_below ~rand_bytes:(Alpenhorn_crypto.Drbg.bytes rng) B.zero)));
+    Alcotest.test_case "to_limbs/of_limbs roundtrip" `Quick (fun () ->
+        let vals =
+          [
+            B.zero;
+            B.one;
+            B.of_int max_int;
+            B.shift_left B.one 31;
+            B.sub (B.shift_left B.one 31) B.one;
+            B.of_string "0x123456789abcdef0123456789abcdef0123456789";
+          ]
+        in
+        List.iter
+          (fun v ->
+            Alcotest.(check string) "roundtrip" (B.to_hex v) (B.to_hex (B.of_limbs (B.to_limbs v))))
+          vals;
+        (* of_limbs strips leading zero limbs and copies its input *)
+        let limbs = [| 5; 0; 0 |] in
+        let v = B.of_limbs limbs in
+        limbs.(0) <- 7;
+        Alcotest.(check int) "copied, zeros stripped" 5 (B.to_int v);
+        (* to_limbs is little-endian base 2^31 *)
+        let w = B.add (B.shift_left (B.of_int 3) 31) B.two in
+        Alcotest.(check bool) "limb order" true (B.to_limbs w = [| 2; 3 |]));
     Alcotest.test_case "is_even and parity arithmetic" `Quick (fun () ->
         Alcotest.(check bool) "0 even" true (B.is_even B.zero);
         Alcotest.(check bool) "1 odd" false (B.is_even B.one);

@@ -65,8 +65,24 @@ let unit_tests =
         let x = Drbg.bigint_below rng (Field.modulus f) in
         Alcotest.(check string) "roundtrip" (B.to_string x)
           (B.to_string (Field.of_bytes f (Field.to_bytes f x)));
-        Alcotest.check_raises "non-canonical" (Invalid_argument "Field.of_bytes: not canonical")
+        Alcotest.check_raises "non-canonical" (Invalid_argument "Field.of_bytes: malformed")
           (fun () -> ignore (Field.of_bytes f (String.make (Field.element_bytes f) '\xff'))));
+    Alcotest.test_case "of_bytes_opt is total" `Quick (fun () ->
+        let f = fp () in
+        let n = Field.element_bytes f in
+        (* wrong widths *)
+        Alcotest.(check bool) "short" true (Field.of_bytes_opt f (String.make (n - 1) '\x00') = None);
+        Alcotest.(check bool) "long" true (Field.of_bytes_opt f (String.make (n + 1) '\x00') = None);
+        Alcotest.(check bool) "empty" true (Field.of_bytes_opt f "" = None);
+        (* non-canonical: exactly p, and all-ones *)
+        Alcotest.(check bool) "p itself" true
+          (Field.of_bytes_opt f (B.to_bytes_be ~len:n (Field.modulus f)) = None);
+        Alcotest.(check bool) "all ones" true (Field.of_bytes_opt f (String.make n '\xff') = None);
+        (* canonical boundary: p - 1 decodes *)
+        let pm1 = B.sub (Field.modulus f) B.one in
+        (match Field.of_bytes_opt f (B.to_bytes_be ~len:n pm1) with
+        | Some v -> Alcotest.(check bool) "p-1 roundtrips" true (Field.equal v pm1)
+        | None -> Alcotest.fail "p-1 should decode"));
     Alcotest.test_case "fp2 one and zero" `Quick (fun () ->
         let f = fp () in
         Alcotest.(check bool) "1*1=1" true (Fp2.equal (Fp2.mul f Fp2.one Fp2.one) Fp2.one);
@@ -87,7 +103,68 @@ let unit_tests =
         let f = fp () in
         let rng = Drbg.create ~seed:"fp2bytes" in
         let a = Fp2.make (Drbg.bigint_below rng (Field.modulus f)) (Drbg.bigint_below rng (Field.modulus f)) in
-        Alcotest.(check bool) "roundtrip" true (Fp2.equal a (Fp2.of_bytes f (Fp2.to_bytes f a))));
+        Alcotest.(check bool) "roundtrip" true
+          (match Fp2.of_bytes f (Fp2.to_bytes f a) with
+           | Some b -> Fp2.equal a b
+           | None -> false));
+  ]
+
+(* Barrett fast-path boundary audit: reduce switches to Bigint.rem exactly
+   when numbits x > 2k; exercise the boundary (2k-1, 2k, 2k+1 bits), zero
+   exponents, and non-canonical inverses against the bignum reference. *)
+let boundary_tests =
+  [
+    Alcotest.test_case "reduce at the 2k-bit boundary" `Quick (fun () ->
+        let f = fp () in
+        let p = Field.modulus f in
+        let k = B.numbits p in
+        let rng = Drbg.create ~seed:"barrett-boundary" in
+        List.iter
+          (fun bits ->
+            for _ = 1 to 40 do
+              (* force the top bit so numbits is exactly [bits] *)
+              let x = B.add (Drbg.bigint_bits rng (bits - 1)) (B.shift_left B.one (bits - 1)) in
+              Alcotest.(check string)
+                (Printf.sprintf "numbits=%d" bits)
+                (B.to_string (B.rem x p))
+                (B.to_string (Field.reduce f x))
+            done)
+          [ (2 * k) - 1; 2 * k; (2 * k) + 1 ];
+        (* degenerate small inputs *)
+        Alcotest.(check string) "reduce 0" "0" (B.to_string (Field.reduce f B.zero));
+        Alcotest.(check string) "reduce p" "0" (B.to_string (Field.reduce f p));
+        Alcotest.(check string) "reduce (p-1)"
+          (B.to_string (B.sub p B.one))
+          (B.to_string (Field.reduce f (B.sub p B.one)));
+        Alcotest.(check string) "reduce -1 wraps"
+          (B.to_string (B.sub p B.one))
+          (B.to_string (Field.reduce f (B.neg B.one))));
+    Alcotest.test_case "pow with zero exponent" `Quick (fun () ->
+        let f = fp () in
+        let rng = Drbg.create ~seed:"pow-zero" in
+        Alcotest.(check string) "0^0 = 1" "1" (B.to_string (Field.pow f B.zero B.zero));
+        for _ = 1 to 10 do
+          let a = Drbg.bigint_below rng (Field.modulus f) in
+          Alcotest.(check string) "a^0 = 1" "1" (B.to_string (Field.pow f a B.zero))
+        done);
+    Alcotest.test_case "inv accepts non-canonical input" `Quick (fun () ->
+        (* mod_inv reduces its argument first, so a and a+p must agree *)
+        let f = fp () in
+        let p = Field.modulus f in
+        let rng = Drbg.create ~seed:"inv-noncanon" in
+        for _ = 1 to 20 do
+          let a = Drbg.bigint_below rng p in
+          if not (B.is_zero a) then begin
+            let i1 = Field.inv f a in
+            let i2 = Field.inv f (B.add a p) in
+            let i3 = Field.inv f (B.sub a (B.mul p p)) in
+            Alcotest.(check string) "inv (a+p)" (B.to_string i1) (B.to_string i2);
+            Alcotest.(check string) "inv (a-p²)" (B.to_string i1) (B.to_string i3);
+            Alcotest.(check string) "a · a⁻¹ = 1" "1" (B.to_string (Field.mul f a i1))
+          end
+        done;
+        Alcotest.check_raises "inv 0" Division_by_zero (fun () -> ignore (Field.inv f B.zero));
+        Alcotest.check_raises "inv p" Division_by_zero (fun () -> ignore (Field.inv f p)));
   ]
 
 let prop name ?(count = 60) arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
@@ -134,4 +211,4 @@ let property_tests =
           (Fp2.pow f a (B.of_int (m + n))));
   ]
 
-let suite = unit_tests @ property_tests
+let suite = unit_tests @ boundary_tests @ property_tests

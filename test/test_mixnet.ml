@@ -177,6 +177,120 @@ let unit_tests =
         Alcotest.(check bool) "range" true (m1 >= 0 && m1 < 7));
   ]
 
+(* Attacker-controlled bytes entering the mixnet decode path must surface
+   as [None], never as an exception: corrupt *valid* encodings in the
+   structured ways a malicious client could (non-canonical field element,
+   bad point-format byte, point at infinity as a public key, truncation)
+   and push them through every decoder a server runs. *)
+let corrupt_encoding_tests =
+  let module Wire = Alpenhorn_core.Wire in
+  let module Bls = Alpenhorn_bls.Bls in
+  let no_raise what f =
+    match f () with
+    | None -> ()
+    | Some _ -> Alcotest.failf "%s: corrupt encoding decoded successfully" what
+    | exception e -> Alcotest.failf "%s: decoder raised %s" what (Printexc.to_string e)
+  in
+  [
+    Alcotest.test_case "corrupt onion header never raises" `Quick (fun () ->
+        let pr = p () in
+        let rng = Drbg.create ~seed:"corrupt-onion" in
+        let sk, pk = Dh.keygen pr rng in
+        let onion = Onion.wrap pr rng ~server_pks:[ pk ] "payload" in
+        let ps = Dh.public_size pr in
+        let fe = ps - 1 in
+        (* each mutation targets the ephemeral-key point prefix *)
+        let set_prefix prefix =
+          prefix ^ String.sub onion ps (String.length onion - ps)
+        in
+        let mutations =
+          [
+            (* x coordinate >= p: non-canonical field element *)
+            ("non-canonical x", set_prefix (String.make fe '\xff' ^ "\x00"));
+            (* format byte outside {00, 01, ff...} *)
+            ("bad parity byte", set_prefix (String.sub onion 0 fe ^ "\x7f"));
+            (* all-ff encodes the point at infinity: not a valid DH key *)
+            ("infinity as epk", set_prefix (String.make ps '\xff'));
+            (* truncated to a partial header *)
+            ("truncated", String.sub onion 0 (ps - 1));
+            ("empty", "");
+          ]
+        in
+        List.iter (fun (what, m) -> no_raise what (fun () -> Onion.unwrap pr ~sk m)) mutations;
+        (* an off-curve x (x³+1 a non-residue) must also be rejected; scan
+           for one deterministically so the vector is stable *)
+        let fp = pr.Params.fp in
+        let module Field = Alpenhorn_pairing.Field in
+        let module B = Alpenhorn_bigint.Bigint in
+        let off_curve = ref None in
+        let x = ref B.two in
+        while !off_curve = None do
+          let rhs = Field.add fp (Field.mul fp (Field.sqr fp !x) !x) B.one in
+          if Field.sqrt fp rhs = None then off_curve := Some !x else x := B.add !x B.one
+        done;
+        let xb = Field.to_bytes fp (Option.get !off_curve) in
+        no_raise "off-curve x" (fun () -> Onion.unwrap pr ~sk (set_prefix (xb ^ "\x00"))));
+    Alcotest.test_case "corrupt friend request never raises" `Quick (fun () ->
+        let pr = p () in
+        let rng = Drbg.create ~seed:"corrupt-req" in
+        let bsk, bpk = Bls.keygen pr rng in
+        let _, dpk = Dh.keygen pr rng in
+        let r =
+          {
+            Wire.sender_email = "mallory@example.org";
+            sender_key = bpk;
+            sender_sig = Bls.sign pr bsk "placeholder";
+            pkg_sigs = Bls.sign pr bsk "placeholder2";
+            dialing_key = dpk;
+            dialing_round = 7;
+          }
+        in
+        let enc = Wire.encode_request pr r in
+        (match Wire.decode_request pr enc with
+        | Some _ -> ()
+        | None -> Alcotest.fail "valid request must decode");
+        let ps = Dh.public_size pr in
+        let fe = ps - 1 in
+        let splice off sub =
+          String.sub enc 0 off ^ sub ^ String.sub enc (off + String.length sub)
+            (String.length enc - off - String.length sub)
+        in
+        (* corrupt each of the four embedded points in turn *)
+        for i = 0 to 3 do
+          let off = 1 + Wire.max_email_length + (i * ps) in
+          no_raise
+            (Printf.sprintf "point %d non-canonical" i)
+            (fun () -> Wire.decode_request pr (splice off (String.make fe '\xff' ^ "\x00")));
+          no_raise
+            (Printf.sprintf "point %d bad parity" i)
+            (fun () -> Wire.decode_request pr (splice (off + fe) "\x7f"))
+        done;
+        (* oversized claimed email length *)
+        no_raise "bad email length" (fun () ->
+            Wire.decode_request pr (splice 0 (String.make 1 '\xff')));
+        (* wrong total size *)
+        no_raise "truncated request" (fun () ->
+            Wire.decode_request pr (String.sub enc 0 (String.length enc - 1))));
+    Alcotest.test_case "corrupt bloom filter never raises" `Quick (fun () ->
+        let b = Bloom.create ~expected_elements:16 in
+        Bloom.add b "tok";
+        let enc = Bloom.to_bytes b in
+        let no_raise_b what f =
+          match f () with
+          | (None | Some _) -> ()
+          | exception e -> Alcotest.failf "%s: raised %s" what (Printexc.to_string e)
+        in
+        (* claimed nbits inconsistent with the actual byte count *)
+        no_raise_b "huge nbits" (fun () ->
+            Bloom.of_bytes ("\x7f\xff\xff\xff" ^ String.sub enc 4 (String.length enc - 4)));
+        no_raise_b "zero nbits" (fun () ->
+            Bloom.of_bytes (String.make 4 '\x00' ^ String.sub enc 4 (String.length enc - 4)));
+        no_raise_b "truncated" (fun () -> Bloom.of_bytes (String.sub enc 0 11));
+        (match Bloom.of_bytes ("\x7f\xff\xff\xff" ^ String.sub enc 4 (String.length enc - 4)) with
+        | Some _ -> Alcotest.fail "inconsistent header must be rejected"
+        | None -> ()));
+  ]
+
 let prop name ?(count = 15) arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
 
 let property_tests =
@@ -194,4 +308,4 @@ let property_tests =
         = Some body);
   ]
 
-let suite = unit_tests @ property_tests
+let suite = unit_tests @ corrupt_encoding_tests @ property_tests

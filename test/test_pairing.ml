@@ -65,6 +65,73 @@ let unit_tests =
         Alcotest.(check string) "same bytes" (Pairing.gt_bytes pr e) (Pairing.gt_bytes pr e));
   ]
 
+(* regression: the 2-torsion point (-1, 0) used to hit the tangent branch
+   with y = 0 and raise Division_by_zero; the tangent there is vertical *)
+let two_torsion_tests =
+  let tt pr = Curve.make pr.Params.fp ~x:(Alpenhorn_pairing.Field.neg pr.Params.fp B.one) ~y:B.zero in
+  [
+    Alcotest.test_case "line_and_add doubles 2-torsion as a vertical" `Quick (fun () ->
+        let pr = p () in
+        let f = pr.Params.fp in
+        let t = tt pr in
+        let xq = Fp2.mul_fp f pr.Params.zeta (B.of_int 7) and yq = Fp2.of_fp (B.of_int 9) in
+        let l, v, sum = Pairing.line_and_add f t t ~xq ~yq in
+        Alcotest.(check bool) "t + t = O" true (Curve.equal sum Curve.Inf);
+        Alcotest.(check bool) "v = 1" true (Fp2.equal v Fp2.one);
+        (* the vertical through x = -1, evaluated at xq *)
+        Alcotest.(check bool) "l = xq + 1" true
+          (Fp2.equal l (Fp2.sub f xq (Fp2.of_fp (Alpenhorn_pairing.Field.neg f B.one)))));
+    Alcotest.test_case "Curve.double of 2-torsion is O" `Quick (fun () ->
+        let pr = p () in
+        Alcotest.(check bool) "double" true (Curve.equal (Curve.double pr.Params.fp (tt pr)) Curve.Inf));
+    Alcotest.test_case "pairing with a 2-torsion first argument does not raise" `Quick (fun () ->
+        let pr = p () in
+        let t = tt pr in
+        (* the Miller loop doubles through y = 0 immediately; both paths
+           must survive and agree *)
+        Alcotest.(check bool) "fast = reference" true
+          (Fp2.equal (Pairing.pair pr t pr.Params.g) (Pairing.pair_reference pr t pr.Params.g)));
+  ]
+
+let fast_path_tests =
+  [
+    Alcotest.test_case "fast pairing equals reference on random points" `Quick (fun () ->
+        let pr = p () in
+        let f = pr.Params.fp and g = pr.Params.g in
+        let rng = Drbg.create ~seed:"pair-fast" in
+        for i = 1 to 12 do
+          let a = Curve.mul f (Drbg.bigint_below rng pr.Params.q) g in
+          let b =
+            if i mod 2 = 0 then Pairing.hash_to_group pr (string_of_int i)
+            else Curve.mul f (Drbg.bigint_below rng pr.Params.q) g
+          in
+          match (a, b) with
+          | Curve.Inf, _ | _, Curve.Inf -> ()
+          | _ ->
+            Alcotest.(check bool) "fast = reference" true
+              (Fp2.equal (Pairing.pair pr a b) (Pairing.pair_reference pr a b))
+        done);
+    Alcotest.test_case "fast pairing equals reference on the production curve" `Slow (fun () ->
+        let pr = Params.production () in
+        let h = Pairing.hash_to_group pr "production-probe" in
+        Alcotest.(check bool) "fast = reference" true
+          (Fp2.equal (Pairing.pair pr pr.Params.g h) (Pairing.pair_reference pr pr.Params.g h)));
+    Alcotest.test_case "pair_cached equals pair and hits on repeats" `Quick (fun () ->
+        let pr = p () in
+        let module Tel = Alpenhorn_telemetry.Telemetry in
+        let h = Pairing.hash_to_group pr "cache-probe" in
+        ignore (Tel.Snapshot.take ~reset:true Tel.default);
+        let e1 = Pairing.pair_cached pr h pr.Params.g in
+        let e2 = Pairing.pair_cached pr h pr.Params.g in
+        Alcotest.(check bool) "cached = direct" true (Fp2.equal e1 (Pairing.pair pr h pr.Params.g));
+        Alcotest.(check bool) "stable" true (Fp2.equal e1 e2);
+        let snap = Tel.Snapshot.take Tel.default in
+        Alcotest.(check bool) "at least one hit" true
+          (Tel.Snapshot.counter_sum snap "pairing.cache_hits" >= 1);
+        Alcotest.(check bool) "at least one miss" true
+          (Tel.Snapshot.counter_sum snap "pairing.cache_misses" >= 1));
+  ]
+
 let prop name ?(count = 15) arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
 
 let property_tests =
@@ -93,4 +160,4 @@ let property_tests =
           (Pairing.pair pr (Curve.mul f (B.of_int b) g) (Curve.mul f (B.of_int a) h)));
   ]
 
-let suite = unit_tests @ property_tests
+let suite = unit_tests @ two_torsion_tests @ fast_path_tests @ property_tests
