@@ -13,6 +13,7 @@ module Deployment = Alpenhorn_core.Deployment
 module Costmodel = Alpenhorn_sim.Costmodel
 module Round_sim = Alpenhorn_sim.Round_sim
 module Tel = Alpenhorn_telemetry.Telemetry
+module Events = Alpenhorn_telemetry.Events
 
 let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("smoke: FAIL " ^ s); exit 1) fmt
 
@@ -56,6 +57,7 @@ let smoke () =
     (fun c -> match Deployment.register d c with Ok () -> () | Error _ -> fail "registration")
     clients;
   Client.add_friend (List.hd clients) ~email:"s1@smoke" ();
+  Events.clear Events.default;
   ignore (Deployment.run_addfriend_round d ());
   ignore (Deployment.run_dialing_round d ());
   let wall = Tel.Snapshot.take ~reset:true Tel.default in
@@ -67,6 +69,16 @@ let smoke () =
   check_hops "wall snapshot" wall ~n_servers;
   check_json "wall to_json" (Tel.Snapshot.to_json wall);
   check_json "wall to_chrome_trace" (Tel.Snapshot.to_chrome_trace wall);
+  (* the structured event log must have narrated the rounds, every line
+     independently well-formed JSON *)
+  let ev_lines = String.split_on_char '\n' (String.trim (Events.to_jsonl Events.default)) in
+  if List.length ev_lines < 4 then
+    fail "event log too small: %d lines (expected round.start/close pairs)"
+      (List.length ev_lines);
+  List.iteri
+    (fun i l -> if not (Tel.Json.is_valid l) then fail "event line %d is not well-formed JSON: %s" i l)
+    ev_lines;
+  Printf.printf "smoke: %-28s %d JSONL events validated\n" "event log" (List.length ev_lines);
   (* --- same round shape replayed on the DES clock --- *)
   let m = Costmodel.paper_machine in
   let pc = Costmodel.protocol_costs (Alpenhorn_pairing.Params.production ()) in

@@ -21,6 +21,9 @@ module Costmodel = Alpenhorn_sim.Costmodel
 module Round_sim = Alpenhorn_sim.Round_sim
 module Util = Alpenhorn_crypto.Util
 module Tel = Alpenhorn_telemetry.Telemetry
+module Trace = Alpenhorn_telemetry.Trace
+module Events = Alpenhorn_telemetry.Events
+module Slo = Alpenhorn_telemetry.Slo
 
 open Cmdliner
 
@@ -37,11 +40,18 @@ let write_file path body =
 
 (* Dump the default registry: table on stderr with [--metrics], JSON
    snapshot with [--metrics-json FILE] (wrapping the machine calibration
-   when one was used), Chrome trace_event JSON with [--trace FILE]. *)
-let dump_telemetry ~metrics ~json_path ~trace_path ?machine () =
-  if metrics || json_path <> None || trace_path <> None then begin
+   when one was used), Chrome trace_event JSON with [--trace FILE],
+   JSON-lines event log with [--events FILE], SLO health report with
+   [--slo]. Returns false when an SLO report came out unhealthy. *)
+let dump_telemetry ~metrics ~json_path ~trace_path ?machine ?tracer ~events_path ~slo_rules () =
+  let healthy = ref true in
+  if metrics || json_path <> None || trace_path <> None || slo_rules <> None then begin
     let snap = Tel.Snapshot.take Tel.default in
-    if metrics then Format.eprintf "%a@?" Tel.Snapshot.pp_table snap;
+    if metrics then begin
+      Format.eprintf "%a@?" Tel.Snapshot.pp_table snap;
+      (* per-message causal timelines, when tracing was on *)
+      if tracer <> None then Format.eprintf "%a@?" Trace.pp_timelines snap
+    end;
     Option.iter
       (fun path ->
         let telemetry_json = Tel.Snapshot.to_json snap in
@@ -59,8 +69,21 @@ let dump_telemetry ~metrics ~json_path ~trace_path ?machine () =
       (fun path ->
         write_file path (Tel.Snapshot.to_chrome_trace snap);
         Printf.eprintf "chrome trace written to %s (open in about:tracing)\n" path)
-      trace_path
-  end
+      trace_path;
+    Option.iter
+      (fun rules ->
+        let report = Slo.evaluate rules snap in
+        Format.printf "%a@?" Slo.pp_report report;
+        healthy := report.Slo.healthy)
+      slo_rules
+  end;
+  Option.iter
+    (fun path ->
+      write_file path (Events.to_jsonl Events.default);
+      Printf.eprintf "event log written to %s (%d events, %d dropped)\n" path
+        (Events.length Events.default) (Events.dropped Events.default))
+    events_path;
+  !healthy
 
 let metrics_arg =
   Arg.(value & flag & info [ "metrics" ] ~doc:"Print a telemetry metrics table on stderr.")
@@ -78,9 +101,45 @@ let trace_arg =
     & info [ "trace" ] ~docv:"FILE"
         ~doc:"Write a Chrome trace_event file to $(docv) (view in about:tracing).")
 
+let events_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "events" ] ~docv:"FILE"
+        ~doc:"Write the structured event log to $(docv) as JSON-lines.")
+
+let slo_arg =
+  Arg.(
+    value & flag
+    & info [ "slo" ]
+        ~doc:
+          "Evaluate the built-in SLO rules (round deadlines, mailbox-load ceiling, \
+           pairing-cache hit rate, zero drops) against the run and print a health report; \
+           exit 2 when unhealthy.")
+
+let trace_sample_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "trace-sample" ] ~docv:"RATE"
+        ~doc:
+          "Enable per-message causal tracing, sampling $(docv) of real submissions \
+           (0.0-1.0). Trace contexts ride out-of-band: wire bytes are unchanged.")
+
+let make_tracer trace_sample =
+  Option.map
+    (fun rate ->
+      if rate < 0.0 || rate > 1.0 then begin
+        prerr_endline "alpenhorn: --trace-sample must be in [0, 1]";
+        exit 2
+      end;
+      Trace.create ~rate Tel.default)
+    trace_sample
+
 (* ---- session ---- *)
 
-let run_session caller callee intent seed metrics metrics_json trace =
+let run_session caller callee intent seed metrics metrics_json trace events slo trace_sample =
+  let tracer = make_tracer trace_sample in
   let d = Deployment.create ~config:Config.test ~seed in
   let secret_caller = ref None and secret_callee = ref None in
   let mk email on_place on_ring =
@@ -111,21 +170,30 @@ let run_session caller callee intent seed metrics metrics_json trace =
     [ a; b ];
   Printf.printf "\n> /addfriend %s\n" callee;
   Client.add_friend a ~email:callee ();
-  ignore (Deployment.run_addfriend_round d ());
-  ignore (Deployment.run_addfriend_round d ());
+  ignore (Deployment.run_addfriend_round d ?tracer ());
+  ignore (Deployment.run_addfriend_round d ?tracer ());
   Printf.printf "friendship established (keywheels synchronized)\n";
   Printf.printf "\n> /call %s %d\n" callee intent;
   Client.call a ~email:callee ~intent;
   let guard = ref 0 in
   while !secret_callee = None && !guard < 6 do
     incr guard;
-    ignore (Deployment.run_dialing_round d ())
+    ignore (Deployment.run_dialing_round d ?tracer ())
   done;
-  dump_telemetry ~metrics ~json_path:metrics_json ~trace_path:trace ();
+  let slo_rules =
+    if slo then
+      (* in-process rounds are function calls: generous wall-clock bounds *)
+      Some (Slo.default_rules ~addfriend_deadline:300.0 ~dialing_deadline:300.0 ())
+    else None
+  in
+  let healthy =
+    dump_telemetry ~metrics ~json_path:metrics_json ~trace_path:trace ?tracer
+      ~events_path:events ~slo_rules ()
+  in
   match (!secret_caller, !secret_callee) with
   | Some ka, Some kb when ka = kb ->
     Printf.printf "\nshared secret (paste into PANDA or your messenger):\n  %s\n" (Util.to_hex ka);
-    0
+    if healthy then 0 else 2
   | _ ->
     prerr_endline "call failed";
     1
@@ -143,7 +211,7 @@ let session_cmd =
     (Cmd.info "session" ~doc:"Friend two users and place a call; print the shared secret.")
     Term.(
       const run_session $ caller $ callee $ intent $ seed $ metrics_arg $ metrics_json_arg
-      $ trace_arg)
+      $ trace_arg $ events_arg $ slo_arg $ trace_sample_arg)
 
 (* ---- params ---- *)
 
@@ -171,7 +239,9 @@ let params_cmd =
 
 (* ---- simulate ---- *)
 
-let run_simulate users servers dial_minutes af_hours calibrate metrics metrics_json trace =
+let run_simulate users servers dial_minutes af_hours calibrate metrics metrics_json trace events
+    slo trace_sample =
+  let tracer = make_tracer trace_sample in
   let pr = Params.production () in
   let pc = Costmodel.protocol_costs pr in
   let m =
@@ -211,17 +281,31 @@ let run_simulate users servers dial_minutes af_hours calibrate metrics metrics_j
   Printf.printf "total: %.2f KB/s (%.1f GB/month)\n"
     ((af_bw +. dial_bw) /. 1000.0)
     ((af_bw +. dial_bw) *. 86400.0 *. 30.0 /. 1e9);
-  if metrics || metrics_json <> None || trace <> None then begin
+  if metrics || metrics_json <> None || trace <> None || events <> None || slo || tracer <> None
+  then begin
     (* replay one add-friend + one dialing round on the DES engine so the
        snapshot and trace carry per-hop counters and simulated-clock spans *)
     ignore (Tel.Snapshot.take ~reset:true Tel.default);
     ignore
-      (Round_sim.addfriend m pc ~n_users:users ~n_servers:servers ~noise_mu:4000.0
+      (Round_sim.addfriend m ?tracer pc ~n_users:users ~n_servers:servers ~noise_mu:4000.0
          ~active_fraction:0.05 ~chunks:1);
     ignore
-      (Round_sim.dialing m pc ~n_users:users ~n_servers:servers ~noise_mu:25000.0
+      (Round_sim.dialing m ?tracer pc ~n_users:users ~n_servers:servers ~noise_mu:25000.0
          ~active_fraction:0.05 ~friends:1000 ~intents:10 ~chunks:1);
-    dump_telemetry ~metrics ~json_path:metrics_json ~trace_path:trace ~machine:m ()
+    let slo_rules =
+      if slo then
+        Some
+          (Slo.default_rules
+             ~addfriend_deadline:(af_hours *. 3600.0)
+             ~dialing_deadline:(dial_minutes *. 60.0)
+             ())
+      else None
+    in
+    let healthy =
+      dump_telemetry ~metrics ~json_path:metrics_json ~trace_path:trace ~machine:m ?tracer
+        ~events_path:events ~slo_rules ()
+    in
+    if not healthy then exit 2
   end;
   0
 
@@ -245,7 +329,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Price a deployment with the paper-calibrated cost model.")
     Term.(
       const run_simulate $ users $ servers $ dial_minutes $ af_hours $ calibrate $ metrics_arg
-      $ metrics_json_arg $ trace_arg)
+      $ metrics_json_arg $ trace_arg $ events_arg $ slo_arg $ trace_sample_arg)
 
 let () =
   let doc = "Alpenhorn: metadata-private bootstrapping (OCaml reproduction)" in

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# lint: every module belonging to a (library ...) stanza under lib/ or
+# devtools/ must ship an explicit .mli interface. Modules that are
+# co-located executables (listed as an (executable (name ...)) in the same
+# dune file, e.g. devtools/bench_diff/bench_diff.ml) are exempt.
+set -u
+fail=0
+for dunef in $(find lib devtools -name dune | sort); do
+  dir=$(dirname "$dunef")
+  grep -q '(library' "$dunef" || continue
+  exes=$(tr '\n' ' ' <"$dunef" |
+    grep -oE '\(executable[^)]*\(name +[a-z0-9_]+' |
+    grep -oE '[a-z0-9_]+$')
+  for ml in "$dir"/*.ml; do
+    [ -e "$ml" ] || continue
+    base=$(basename "$ml" .ml)
+    skip=0
+    for e in $exes; do
+      [ "$base" = "$e" ] && skip=1
+    done
+    [ "$skip" -eq 1 ] && continue
+    if [ ! -f "$dir/$base.mli" ]; then
+      echo "lint: $dir/$base.ml has no interface ($dir/$base.mli missing)" >&2
+      fail=1
+    fi
+  done
+done
+exit $fail

@@ -1,0 +1,76 @@
+(* CI perf gate: compare two benchmark or metrics JSON snapshots and exit
+   nonzero when a named series regressed by more than the threshold.
+
+     bench_diff [--threshold PCT] [--series PATH]... BEFORE.json AFTER.json
+
+   Exit codes: 0 no regression, 1 regression found, 2 usage/parse error. *)
+
+module Json = Alpenhorn_telemetry.Telemetry.Json
+
+let usage () =
+  prerr_endline
+    "usage: bench_diff [--threshold PCT] [--series PATH]... BEFORE.json AFTER.json";
+  exit 2
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Some s
+  with Sys_error _ -> None
+
+let parse_file path =
+  match read_file path with
+  | None ->
+    Printf.eprintf "bench_diff: cannot read %s\n" path;
+    exit 2
+  | Some s -> (
+    match Json.parse s with
+    | None ->
+      Printf.eprintf "bench_diff: %s is not valid JSON\n" path;
+      exit 2
+    | Some doc -> doc)
+
+let () =
+  let threshold = ref 10.0 and series = ref [] and files = ref [] in
+  let rec args = function
+    | [] -> ()
+    | "--threshold" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some t when t >= 0.0 -> threshold := t
+      | _ -> usage ());
+      args rest
+    | "--series" :: v :: rest ->
+      series := !series @ [ v ];
+      args rest
+    | ("--threshold" | "--series") :: [] -> usage ()
+    | arg :: _ when String.length arg > 2 && String.sub arg 0 2 = "--" -> usage ()
+    | file :: rest ->
+      files := !files @ [ file ];
+      args rest
+  in
+  args (List.tl (Array.to_list Sys.argv));
+  match !files with
+  | [ before_path; after_path ] ->
+    let before = parse_file before_path and after = parse_file after_path in
+    let rows =
+      Alpenhorn_bench_diff.Diff_engine.diff ~threshold_pct:!threshold ~series:!series ~before ~after ()
+    in
+    if rows = [] then begin
+      Printf.eprintf "bench_diff: no series matched\n";
+      exit 2
+    end;
+    Alpenhorn_bench_diff.Diff_engine.pp Format.std_formatter rows;
+    let bad = Alpenhorn_bench_diff.Diff_engine.regressions rows in
+    if bad = [] then begin
+      Printf.printf "bench_diff: %d series, none regressed more than %g%%\n" (List.length rows)
+        !threshold;
+      exit 0
+    end
+    else begin
+      Printf.printf "bench_diff: %d of %d series regressed more than %g%%\n" (List.length bad)
+        (List.length rows) !threshold;
+      exit 1
+    end
+  | _ -> usage ()

@@ -1,0 +1,99 @@
+module Json = Alpenhorn_telemetry.Telemetry.Json
+
+type row = {
+  series : string;
+  before_v : float;
+  after_v : float option;  (* None: series disappeared from the new snapshot *)
+  pct : float;
+  regressed : bool;
+}
+
+let str_of = function
+  | Json.Str s -> s
+  | Json.Num n -> Printf.sprintf "%g" n
+  | Json.Bool b -> string_of_bool b
+  | Json.Null -> "null"
+  | Json.Arr _ | Json.Obj _ -> "?"
+
+let label_suffix v =
+  match Json.member "labels" v with
+  | Some (Json.Obj []) | None -> ""
+  | Some (Json.Obj kvs) ->
+    "{" ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ str_of v) kvs) ^ "}"
+  | Some _ -> ""
+
+(* Telemetry snapshots carry labeled metric entries in arrays, so the
+   generic dotted-path flattening would key them by array position —
+   unstable across runs that register metrics in a different order.
+   Re-key those sections by name+labels instead; any other JSON document
+   (e.g. BENCH_*.json) falls through to {!Json.number_leaves}. *)
+let flatten doc =
+  match (Json.member "counters" doc, Json.member "gauges" doc) with
+  | Some (Json.Arr _), Some (Json.Arr _) ->
+    let metric_rows section fields =
+      match Json.member section doc with
+      | Some (Json.Arr entries) ->
+        List.concat_map
+          (fun e ->
+            match Json.member "name" e with
+            | Some (Json.Str name) ->
+              let key = section ^ "." ^ name ^ label_suffix e in
+              List.filter_map
+                (fun field ->
+                  match Option.bind (Json.member field e) Json.to_num with
+                  | Some v ->
+                    Some ((if field = "value" then key else key ^ "." ^ field), v)
+                  | None -> None)
+                fields
+            | _ -> [])
+          entries
+      | _ -> []
+    in
+    metric_rows "counters" [ "value" ]
+    @ metric_rows "gauges" [ "value" ]
+    @ metric_rows "histograms" [ "count"; "sum"; "min"; "max" ]
+  | _ -> Json.number_leaves doc
+
+let keep filters series =
+  filters = []
+  || List.exists
+       (fun f ->
+         let lf = String.length f in
+         String.length series >= lf && String.sub series 0 lf = f)
+       filters
+
+(* Lower is better: a regression is [after] exceeding [before] by more
+   than [threshold_pct] percent. A vanished series is reported but never
+   regresses; a series new in [after] is ignored (no baseline). *)
+let diff ~threshold_pct ?(series = []) ~before ~after () =
+  let after_leaves = flatten after in
+  flatten before
+  |> List.filter (fun (k, _) -> keep series k)
+  |> List.map (fun (k, before_v) ->
+         match List.assoc_opt k after_leaves with
+         | None -> { series = k; before_v; after_v = None; pct = 0.0; regressed = false }
+         | Some after_v ->
+           let pct =
+             if before_v = 0.0 then if after_v = 0.0 then 0.0 else infinity
+             else (after_v -. before_v) /. before_v *. 100.0
+           in
+           {
+             series = k;
+             before_v;
+             after_v = Some after_v;
+             pct;
+             regressed = pct > threshold_pct;
+           })
+
+let regressions rows = List.filter (fun r -> r.regressed) rows
+
+let pp ppf rows =
+  List.iter
+    (fun r ->
+      match r.after_v with
+      | None -> Format.fprintf ppf "gone %-48s %12g -> (missing)@." r.series r.before_v
+      | Some a ->
+        Format.fprintf ppf "%s %-48s %12g -> %-12g %+.1f%%@."
+          (if r.regressed then "FAIL" else "ok  ")
+          r.series r.before_v a r.pct)
+    rows

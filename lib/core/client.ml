@@ -12,6 +12,7 @@ module Onion = Alpenhorn_mixnet.Onion
 module Payload = Alpenhorn_mixnet.Payload
 module Mailbox = Alpenhorn_mixnet.Mailbox
 module Tel = Alpenhorn_telemetry.Telemetry
+module Trace = Alpenhorn_telemetry.Trace
 
 (* Aggregated over all client instances in the process — the evaluation
    (§8.1) cares about total scan attempts vs hits, not per-client splits. *)
@@ -171,7 +172,23 @@ let build_request t af ~dialing_key ~dialing_round =
 let cover_addfriend_payload t =
   Payload.encode ~mailbox:Payload.cover (Drbg.bytes t.rng (Wire.request_ciphertext_size t.params))
 
-let addfriend_submission t af ~mpk_agg ~num_mailboxes ~server_pks =
+(* Offer a REAL (non-cover) submission to the sampler; the root
+   [client.submit] span starts the message's causal trace. The context is
+   returned out-of-band — the wire bytes are exactly those of the untraced
+   path (tracing consumes no protocol randomness). *)
+let trace_submit t tracer =
+  match tracer with
+  | None -> None
+  | Some tr -> (
+    match Trace.sample tr with
+    | None -> None
+    | Some ctx ->
+      Trace.emit tr ctx
+        ~labels:[ ("client", t.email) ]
+        ~name:"client.submit" ~ts:(Tel.now Tel.default) ~dur:0.0 ();
+      Some ctx)
+
+let addfriend_submission_traced t af ?tracer ~mpk_agg ~num_mailboxes ~server_pks () =
   let real =
     (* Confirmations first: a friend is waiting on them. *)
     match t.confirm_queue with
@@ -194,15 +211,19 @@ let addfriend_submission t af ~mpk_agg ~num_mailboxes ~server_pks =
               { dh_secret = Some dh_secret; proposed_round = proposed; expected_key = None });
          Some (peer, dh_public, proposed))
   in
-  let payload =
+  let payload, ctx =
     match real with
-    | None -> cover_addfriend_payload t
+    | None -> (cover_addfriend_payload t, None)
     | Some (peer, dialing_key, dialing_round) ->
       let req = build_request t af ~dialing_key ~dialing_round in
       let ctxt = Ibe.encrypt t.params t.rng mpk_agg ~id:peer (Wire.encode_request t.params req) in
-      Payload.encode ~mailbox:(Mailbox.mailbox_of_identity peer ~num_mailboxes) ctxt
+      ( Payload.encode ~mailbox:(Mailbox.mailbox_of_identity peer ~num_mailboxes) ctxt,
+        trace_submit t tracer )
   in
-  Onion.wrap t.params t.rng ~server_pks payload
+  (Onion.wrap t.params t.rng ~server_pks payload, ctx)
+
+let addfriend_submission t af ~mpk_agg ~num_mailboxes ~server_pks =
+  fst (addfriend_submission_traced t af ~mpk_agg ~num_mailboxes ~server_pks ())
 
 type af_event =
   | Friend_request_accepted of string
@@ -306,7 +327,7 @@ let advance_dialing t ~round =
 let cover_dialing_payload t =
   Payload.encode ~mailbox:Payload.cover (Drbg.bytes t.rng Wire.dial_token_size)
 
-let dialing_submission t ~num_mailboxes ~server_pks =
+let dialing_submission_traced t ?tracer ~num_mailboxes ~server_pks () =
   (* First sendable call wins; calls whose keywheel entry is still in the
      future stay queued, calls to strangers are dropped. *)
   let rec pick kept = function
@@ -321,16 +342,20 @@ let dialing_submission t ~num_mailboxes ~server_pks =
   in
   let chosen, remaining = pick [] t.call_queue in
   t.call_queue <- remaining;
-  let payload =
+  let payload, ctx =
     match chosen with
-    | None -> cover_dialing_payload t
+    | None -> (cover_dialing_payload t, None)
     | Some (peer, intent, token) ->
       (match Keywheel.session_key t.wheel ~email:peer with
        | Some sk -> t.callbacks.call_placed ~email:peer ~intent ~session_key:sk
        | None -> ());
-      Payload.encode ~mailbox:(Mailbox.mailbox_of_identity peer ~num_mailboxes) token
+      ( Payload.encode ~mailbox:(Mailbox.mailbox_of_identity peer ~num_mailboxes) token,
+        trace_submit t tracer )
   in
-  Onion.wrap t.params t.rng ~server_pks payload
+  (Onion.wrap t.params t.rng ~server_pks payload, ctx)
+
+let dialing_submission t ~num_mailboxes ~server_pks =
+  fst (dialing_submission_traced t ~num_mailboxes ~server_pks ())
 
 type dial_event = Incoming_call of { peer : string; intent : int; session_key : string }
 

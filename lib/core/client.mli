@@ -106,6 +106,21 @@ val addfriend_submission :
 (** Steps 2-3: one onion-wrapped, fixed-size submission — the queued friend
     request if any, otherwise cover traffic. *)
 
+val addfriend_submission_traced :
+  t ->
+  af_round ->
+  ?tracer:Alpenhorn_telemetry.Trace.t ->
+  mpk_agg:Ibe.master_public ->
+  num_mailboxes:int ->
+  server_pks:Dh.public list ->
+  unit ->
+  string * Alpenhorn_telemetry.Trace.ctx option
+(** {!addfriend_submission} plus an optional out-of-band trace context: a
+    REAL submission (never cover traffic) is offered to the sampler and, if
+    sampled, gets a root [client.submit] span whose context the caller
+    threads through {!Alpenhorn_mixnet.Chain.run_round_traced}. The onion
+    bytes are identical with or without a tracer. *)
+
 type af_event =
   | Friend_request_accepted of string  (** new friend; confirmation queued *)
   | Friend_request_rejected of string  (** application declined *)
@@ -134,6 +149,16 @@ val dialing_submission : t -> num_mailboxes:int -> server_pks:Dh.public list -> 
 (** One onion-wrapped dial token for the current round — the oldest queued
     call, or cover traffic. Fires [call_placed] when a real call goes
     out. *)
+
+val dialing_submission_traced :
+  t ->
+  ?tracer:Alpenhorn_telemetry.Trace.t ->
+  num_mailboxes:int ->
+  server_pks:Dh.public list ->
+  unit ->
+  string * Alpenhorn_telemetry.Trace.ctx option
+(** {!dialing_submission} with optional out-of-band tracing; see
+    {!addfriend_submission_traced}. *)
 
 type dial_event = Incoming_call of { peer : string; intent : int; session_key : string }
 

@@ -7,6 +7,8 @@ module Chain = Alpenhorn_mixnet.Chain
 module Mailbox = Alpenhorn_mixnet.Mailbox
 module Bloom = Alpenhorn_bloom.Bloom
 module Tel = Alpenhorn_telemetry.Telemetry
+module Trace = Alpenhorn_telemetry.Trace
+module Events = Alpenhorn_telemetry.Events
 
 type t = {
   config : Config.t;
@@ -142,11 +144,22 @@ let af_noise_body t ~mpk_agg ~mailbox:_ =
   end
   else Drbg.bytes t.rng (Wire.request_ciphertext_size t.params)
 
-let run_addfriend_round t ?participants () =
+let g_mailbox_load = Tel.Gauge.v Tel.default "mailbox.max_load"
+
+(* Record the modeled §6 mailbox-load ceiling input: the fullest mailbox of
+   this round, in entries. *)
+let set_mailbox_load counts =
+  Tel.Gauge.set g_mailbox_load (float_of_int (Array.fold_left Stdlib.max 0 counts))
+
+let run_addfriend_round t ?tracer ?participants () =
   Tel.Span.with_ Tel.default "round.addfriend" @@ fun () ->
   let clients = match participants with Some l -> l | None -> t.clients in
   t.af_round <- t.af_round + 1;
   let round = t.af_round in
+  Events.log Events.default
+    ~labels:[ ("phase", "addfriend") ]
+    ~detail:(Printf.sprintf "round %d, %d clients" round (List.length clients))
+    "round.start";
   (* 1. PKGs rotate master keys: commit, then reveal; verify the openings *)
   let mpk_agg =
     Tel.Span.with_ Tel.default "pkg.rotate" @@ fun () ->
@@ -176,33 +189,55 @@ let run_addfriend_round t ?participants () =
     in
     let batch =
       List.map
-        (fun (c, ctx) -> Client.addfriend_submission c ctx ~mpk_agg ~num_mailboxes ~server_pks)
+        (fun (c, ctx) ->
+          Client.addfriend_submission_traced c ctx ?tracer ~mpk_agg ~num_mailboxes ~server_pks ())
         contexts
       |> Array.of_list
     in
     (contexts, batch)
   in
   (* 3. the mixnet chain runs the round *)
-  let mailboxes, stats =
-    Chain.run_round t.af_chain ~mode:`AddFriend ~noise_mu:t.config.Config.addfriend_noise_mu
-      ~laplace_b:t.config.Config.laplace_b ~num_mailboxes
+  let mailboxes, stats, published =
+    Chain.run_round_traced t.af_chain ~mode:`AddFriend
+      ~noise_mu:t.config.Config.addfriend_noise_mu ~laplace_b:t.config.Config.laplace_b
+      ~num_mailboxes
       ~noise_body:(fun ~mailbox -> af_noise_body t ~mpk_agg ~mailbox)
-      batch
+      ?tracer batch
   in
   let buckets = Mailbox.plain_exn mailboxes in
+  set_mailbox_load (Array.map List.length buckets);
   (* 4-6. every client downloads its mailbox and scans *)
   let events =
     Tel.Span.with_ Tel.default "client.scan" @@ fun () ->
     List.concat_map
       (fun (c, ctx) ->
         let mb = Mailbox.mailbox_of_identity (Client.email c) ~num_mailboxes in
-        Client.scan_addfriend_mailbox c ctx buckets.(mb)
-        |> List.map (fun ev -> (Client.email c, ev)))
+        let t0 = Tel.now Tel.default in
+        let evs = Client.scan_addfriend_mailbox c ctx buckets.(mb) in
+        (match tracer with
+        | Some tr ->
+          (* stitch the recipient-side scan onto each traced message that
+             landed in this client's mailbox *)
+          List.iter
+            (fun (pmb, pctx) ->
+              if pmb = mb then
+                Trace.emit tr (Trace.child tr pctx)
+                  ~labels:[ ("client", Client.email c) ]
+                  ~name:"client.scan" ~ts:t0 ~dur:(Tel.now Tel.default -. t0) ())
+            published
+        | None -> ());
+        List.map (fun ev -> (Client.email c, ev)) evs)
       contexts
   in
   (* PKGs erase master secrets *)
   Array.iter (fun pkg -> Pkg.end_round pkg ~round) t.pkgs;
   advance_clock t ~seconds:t.config.Config.addfriend_round_seconds;
+  Events.log Events.default
+    ~labels:[ ("phase", "addfriend") ]
+    ~detail:
+      (Printf.sprintf "round %d: %d in, %d noise, %d dropped" round stats.Chain.real_in
+         stats.Chain.noise_added stats.Chain.dropped)
+    "round.close";
   {
     af_round = round;
     requests_in = stats.Chain.real_in;
@@ -232,24 +267,29 @@ let num_dial_mailboxes t ~participants =
   Mailbox.num_mailboxes_for ~expected_real ~noise_mu:t.config.Config.dialing_noise_mu
     ~chain_length:t.config.Config.chain_length
 
-let run_dialing_round t ?participants () =
+let run_dialing_round t ?tracer ?participants () =
   Tel.Span.with_ Tel.default "round.dialing" @@ fun () ->
   let clients = match participants with Some l -> l | None -> t.clients in
   t.dial_round <- t.dial_round + 1;
   let round = t.dial_round in
+  Events.log Events.default
+    ~labels:[ ("phase", "dialing") ]
+    ~detail:(Printf.sprintf "round %d, %d clients" round (List.length clients))
+    "round.start";
   let num_mailboxes = num_dial_mailboxes t ~participants:(List.length clients) in
   List.iter (fun c -> Client.advance_dialing c ~round) clients;
   let server_pks = Chain.begin_round t.dial_chain in
   let batch =
     Tel.Span.with_ Tel.default "client.submit" @@ fun () ->
-    List.map (fun c -> Client.dialing_submission c ~num_mailboxes ~server_pks) clients
+    List.map (fun c -> Client.dialing_submission_traced c ?tracer ~num_mailboxes ~server_pks ())
+      clients
     |> Array.of_list
   in
-  let mailboxes, stats =
-    Chain.run_round t.dial_chain ~mode:`Dialing ~noise_mu:t.config.Config.dialing_noise_mu
+  let mailboxes, stats, published =
+    Chain.run_round_traced t.dial_chain ~mode:`Dialing ~noise_mu:t.config.Config.dialing_noise_mu
       ~laplace_b:t.config.Config.laplace_b ~num_mailboxes
       ~noise_body:(fun ~mailbox:_ -> Drbg.bytes t.rng Wire.dial_token_size)
-      batch
+      ?tracer batch
   in
   let filters = Mailbox.filters_exn mailboxes in
   (* archive this round's filters; erase rounds past the retention window *)
@@ -260,11 +300,28 @@ let run_dialing_round t ?participants () =
     List.concat_map
       (fun c ->
         let mb = Mailbox.mailbox_of_identity (Client.email c) ~num_mailboxes in
-        Client.scan_dialing_mailbox c filters.(mb)
-        |> List.map (fun ev -> (Client.email c, ev)))
+        let t0 = Tel.now Tel.default in
+        let evs = Client.scan_dialing_mailbox c filters.(mb) in
+        (match tracer with
+        | Some tr ->
+          List.iter
+            (fun (pmb, pctx) ->
+              if pmb = mb then
+                Trace.emit tr (Trace.child tr pctx)
+                  ~labels:[ ("client", Client.email c) ]
+                  ~name:"client.scan" ~ts:t0 ~dur:(Tel.now Tel.default -. t0) ())
+            published
+        | None -> ());
+        List.map (fun ev -> (Client.email c, ev)) evs)
       clients
   in
   advance_clock t ~seconds:t.config.Config.dialing_round_seconds;
+  Events.log Events.default
+    ~labels:[ ("phase", "dialing") ]
+    ~detail:
+      (Printf.sprintf "round %d: %d in, %d noise, %d dropped" round stats.Chain.real_in
+         stats.Chain.noise_added stats.Chain.dropped)
+    "round.close";
   {
     dial_round = round;
     tokens_in = stats.Chain.real_in;

@@ -46,11 +46,18 @@ type af_stats = {
   events : (string * Client.af_event) list;  (** (client email, event) *)
 }
 
-val run_addfriend_round : t -> ?participants:Client.t list -> unit -> af_stats
+val run_addfriend_round :
+  t -> ?tracer:Alpenhorn_telemetry.Trace.t -> ?participants:Client.t list -> unit -> af_stats
 (** One complete add-friend round (Algorithm 1): PKG key rotation with
     commit-reveal verification, per-client key extraction, submission,
     mixing with noise, mailbox distribution, download and scan, key
-    erasure. [participants] defaults to every registered client. *)
+    erasure. [participants] defaults to every registered client.
+
+    With [?tracer], sampled real submissions get stitched causal traces
+    (client.submit → per-server mix.hop → mailbox.publish → client.scan);
+    trace contexts ride out-of-band and the wire bytes are unchanged
+    (DESIGN.md §9). The round also logs [round.start]/[round.close] events
+    and sets the [mailbox.max_load] gauge for the SLO engine. *)
 
 type dial_stats = {
   dial_round : int;
@@ -62,7 +69,10 @@ type dial_stats = {
   calls : (string * Client.dial_event) list;
 }
 
-val run_dialing_round : t -> ?participants:Client.t list -> unit -> dial_stats
+val run_dialing_round :
+  t -> ?tracer:Alpenhorn_telemetry.Trace.t -> ?participants:Client.t list -> unit -> dial_stats
+(** One dialing round (§5); same observability hooks as
+    {!run_addfriend_round}. *)
 
 val addfriend_round_number : t -> int
 val dialing_round_number : t -> int

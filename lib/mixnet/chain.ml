@@ -2,6 +2,7 @@ module Drbg = Alpenhorn_crypto.Drbg
 module Params = Alpenhorn_pairing.Params
 module Dh = Alpenhorn_dh.Dh
 module Tel = Alpenhorn_telemetry.Telemetry
+module Trace = Alpenhorn_telemetry.Trace
 
 type t = { params : Params.t; servers : Server.t array }
 
@@ -29,7 +30,7 @@ let round_pks t =
          | Some pk -> pk
          | None -> invalid_arg "Chain.round_pks: round not started")
 
-let run_round t ~mode ~noise_mu ~laplace_b ~num_mailboxes ~noise_body batch =
+let run_round_traced t ~mode ~noise_mu ~laplace_b ~num_mailboxes ~noise_body ?tracer batch =
   Tel.Span.with_ Tel.default "mix.round" (fun () ->
       Tel.Counter.inc (Tel.Counter.v Tel.default "mix.rounds");
       let n = Array.length t.servers in
@@ -43,13 +44,45 @@ let run_round t ~mode ~noise_mu ~laplace_b ~num_mailboxes ~noise_body batch =
             ~labels:[ ("server", string_of_int i) ]
             "mix.server_process"
             (fun () ->
-              Server.process t.servers.(i) ~downstream_pks ~noise_mu ~laplace_b ~num_mailboxes
-                ~noise_body !current)
+              Server.process_traced t.servers.(i) ~downstream_pks ~noise_mu ~laplace_b
+                ~num_mailboxes ~noise_body ?tracer !current)
         in
         total_noise := !total_noise + noise;
         current := out
       done;
       Array.iter Server.end_round t.servers;
-      let mailboxes, dropped = Mailbox.distribute ~num_mailboxes ~mode !current in
+      (* A traced payload that survived the whole chain lands in a mailbox:
+         record the publish hop and hand back (mailbox, ctx) so the caller
+         can stitch the recipient's scan onto the same trace. *)
+      let published =
+        match tracer with
+        | None -> []
+        | Some tr ->
+          Array.to_list !current
+          |> List.filter_map (fun (payload, ctx) ->
+                 match ctx with
+                 | None -> None
+                 | Some c -> (
+                   match Payload.decode payload with
+                   | Some (mb, _) when mb >= 0 && mb < num_mailboxes ->
+                     let child = Trace.child tr c in
+                     let now = Tel.now Tel.default in
+                     Trace.emit tr child
+                       ~labels:[ ("mailbox", string_of_int mb) ]
+                       ~name:"mailbox.publish" ~ts:now ~dur:0.0 ();
+                     Some (mb, child)
+                   | Some _ | None -> None))
+      in
+      let mailboxes, dropped =
+        Mailbox.distribute ~num_mailboxes ~mode (Array.map fst !current)
+      in
       ( mailboxes,
-        { real_in = Array.length batch; noise_added = !total_noise; dropped; num_mailboxes } ))
+        { real_in = Array.length batch; noise_added = !total_noise; dropped; num_mailboxes },
+        published ))
+
+let run_round t ~mode ~noise_mu ~laplace_b ~num_mailboxes ~noise_body batch =
+  let mailboxes, stats, _ =
+    run_round_traced t ~mode ~noise_mu ~laplace_b ~num_mailboxes ~noise_body
+      (Array.map (fun onion -> (onion, None)) batch)
+  in
+  (mailboxes, stats)

@@ -37,3 +37,19 @@ val run_round :
   string array ->
   Mailbox.t * stats
 (** Process one batch end-to-end and erase all round keys. *)
+
+val run_round_traced :
+  t ->
+  mode:[ `AddFriend | `Dialing ] ->
+  noise_mu:float ->
+  laplace_b:float ->
+  num_mailboxes:int ->
+  noise_body:Server.noise_body ->
+  ?tracer:Alpenhorn_telemetry.Trace.t ->
+  (string * Alpenhorn_telemetry.Trace.ctx option) array ->
+  Mailbox.t * stats * (int * Alpenhorn_telemetry.Trace.ctx) list
+(** Like {!run_round} but each submission carries an optional out-of-band
+    trace context (see {!Server.process_traced}; contexts never touch the
+    wire). Returns additionally the traced payloads that survived to a
+    mailbox, as [(mailbox, ctx)] pairs whose [ctx] is the [mailbox.publish]
+    span — parent for the recipient's [client.scan]. *)

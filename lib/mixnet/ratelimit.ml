@@ -4,6 +4,7 @@ module Params = Alpenhorn_pairing.Params
 module Curve = Alpenhorn_pairing.Curve
 module Bls = Alpenhorn_bls.Bls
 module Blind = Alpenhorn_bls.Blind
+module Events = Alpenhorn_telemetry.Events
 
 type issuer = {
   params : Params.t;
@@ -23,7 +24,13 @@ let issuer_public t = t.pk
 let issue t ~now ~user blinded =
   let day = now / 86_400 in
   let used = Option.value ~default:0 (Hashtbl.find_opt t.issued (user, day)) in
-  if used >= t.quota then Error `Quota_exhausted
+  if used >= t.quota then begin
+    Events.log Events.default ~severity:Warn
+      ~labels:[ ("user", user) ]
+      ~detail:(Printf.sprintf "quota %d reached on day %d" t.quota day)
+      "ratelimit.quota_exhausted";
+    Error `Quota_exhausted
+  end
   else begin
     Hashtbl.replace t.issued (user, day) (used + 1);
     Ok (Blind.sign_blinded t.params t.sk blinded)
@@ -54,7 +61,10 @@ type gate = { gparams : Params.t; issuer_key : Bls.public; seen : (string, unit)
 let create_gate params ~issuer_key = { gparams = params; issuer_key; seen = Hashtbl.create 4096 }
 
 let admit g t =
-  if Hashtbl.mem g.seen t.serial then Error `Double_spend
+  if Hashtbl.mem g.seen t.serial then begin
+    Events.log Events.default ~severity:Warn "ratelimit.double_spend";
+    Error `Double_spend
+  end
   else if not (Blind.verify g.gparams g.issuer_key ~msg:t.serial t.signature) then
     Error `Bad_signature
   else begin

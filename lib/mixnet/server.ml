@@ -2,6 +2,8 @@ module Drbg = Alpenhorn_crypto.Drbg
 module Params = Alpenhorn_pairing.Params
 module Dh = Alpenhorn_dh.Dh
 module Tel = Alpenhorn_telemetry.Telemetry
+module Trace = Alpenhorn_telemetry.Trace
+module Events = Alpenhorn_telemetry.Events
 
 (* Per-server metric handles, resolved once at construction so the round
    hot path never touches the registry (DESIGN.md §7). *)
@@ -56,7 +58,14 @@ let sample_noise_count rng ~mu ~b =
   let n = int_of_float (Float.round x) in
   if n < 0 then 0 else n
 
-let process t ~downstream_pks ~noise_mu ~laplace_b ~num_mailboxes ~noise_body batch =
+(* The traced variant carries an optional per-message trace context
+   ALONGSIDE each onion — an OCaml value, never serialized — so a sampled
+   message's hop can be recorded and its child context handed to the next
+   server. Tracing draws no protocol randomness and adds no bytes: the
+   onion processing, noise generation and shuffle consume exactly the same
+   DRBG stream as the untraced path (byte-identity enforced by test). *)
+let process_traced t ~downstream_pks ~noise_mu ~laplace_b ~num_mailboxes ~noise_body ?tracer
+    batch =
   let sk =
     match t.round_key with
     | None -> invalid_arg "Server.process: no round key (call new_round)"
@@ -66,10 +75,37 @@ let process t ~downstream_pks ~noise_mu ~laplace_b ~num_mailboxes ~noise_body ba
   Tel.Histogram.observe t.tel.h_batch (float_of_int (Array.length batch));
   let t0 = Tel.now Tel.default in
   let unwrapped =
-    Array.to_list batch |> List.filter_map (fun onion -> Onion.unwrap t.params ~sk onion)
+    Array.to_list batch
+    |> List.filter_map (fun (onion, ctx) ->
+           match Onion.unwrap t.params ~sk onion with
+           | None -> None
+           | Some inner -> Some (inner, ctx))
   in
-  Tel.Histogram.observe t.tel.h_unwrap (Tel.now Tel.default -. t0);
-  Tel.Counter.add t.tel.c_dropped (Array.length batch - List.length unwrapped);
+  let t_unwrapped = Tel.now Tel.default in
+  Tel.Histogram.observe t.tel.h_unwrap (t_unwrapped -. t0);
+  let dropped = Array.length batch - List.length unwrapped in
+  Tel.Counter.add t.tel.c_dropped dropped;
+  if dropped > 0 then
+    Events.log Events.default ~severity:Warn
+      ~labels:[ ("server", string_of_int t.pos) ]
+      ~detail:(Printf.sprintf "%d onions failed to decrypt" dropped)
+      "mix.decode_failure";
+  let unwrapped =
+    match tracer with
+    | None -> unwrapped
+    | Some tr ->
+      List.map
+        (fun (inner, ctx) ->
+          match ctx with
+          | None -> (inner, None)
+          | Some c ->
+            let hop = Trace.child tr c in
+            Trace.emit tr hop
+              ~labels:[ ("server", string_of_int t.pos) ]
+              ~name:"mix.hop" ~ts:t0 ~dur:(t_unwrapped -. t0) ();
+            (inner, Some hop))
+        unwrapped
+  in
   (* Noise for every real mailbox, wrapped for the rest of the chain so the
      next servers cannot distinguish it from client traffic. *)
   let t1 = Tel.now Tel.default in
@@ -80,7 +116,7 @@ let process t ~downstream_pks ~noise_mu ~laplace_b ~num_mailboxes ~noise_body ba
     for _ = 1 to n do
       let payload = Payload.encode ~mailbox (noise_body ~mailbox) in
       let wrapped = Onion.wrap t.params t.rng ~server_pks:downstream_pks payload in
-      noise := wrapped :: !noise
+      noise := (wrapped, None) :: !noise
     done
   done;
   Tel.Histogram.observe t.tel.h_noise_gen (Tel.now Tel.default -. t1);
@@ -89,5 +125,12 @@ let process t ~downstream_pks ~noise_mu ~laplace_b ~num_mailboxes ~noise_body ba
   Drbg.shuffle t.rng out;
   Tel.Counter.add t.tel.c_out (Array.length out);
   (out, !noise_count)
+
+let process t ~downstream_pks ~noise_mu ~laplace_b ~num_mailboxes ~noise_body batch =
+  let out, noise_count =
+    process_traced t ~downstream_pks ~noise_mu ~laplace_b ~num_mailboxes ~noise_body
+      (Array.map (fun onion -> (onion, None)) batch)
+  in
+  (Array.map fst out, noise_count)
 
 let end_round t = t.round_key <- None

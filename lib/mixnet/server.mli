@@ -40,7 +40,26 @@ val process :
 (** Unwrap, add noise, shuffle. [downstream_pks] are the round keys of the
     servers after this one (empty for the last). Returns the outgoing batch
     and the number of noise messages added. Onions that fail to decrypt are
-    dropped (client DoS resilience, §3.3). *)
+    dropped (client DoS resilience, §3.3) and logged as a
+    [mix.decode_failure] event. *)
+
+val process_traced :
+  t ->
+  downstream_pks:Alpenhorn_dh.Dh.public list ->
+  noise_mu:float ->
+  laplace_b:float ->
+  num_mailboxes:int ->
+  noise_body:noise_body ->
+  ?tracer:Alpenhorn_telemetry.Trace.t ->
+  (string * Alpenhorn_telemetry.Trace.ctx option) array ->
+  (string * Alpenhorn_telemetry.Trace.ctx option) array * int
+(** Like {!process}, but each onion carries an optional trace context
+    {e out of band} — an OCaml value riding alongside the wire bytes, never
+    serialized into them (DESIGN.md §9). A sampled message gets a [mix.hop]
+    span at this server and its child context follows the unwrapped inner
+    onion into the output. Noise entries carry no context. The DRBG stream
+    (noise sampling, onion wrapping, shuffle) is identical to {!process},
+    so wire bytes are unchanged whether or not tracing is enabled. *)
 
 val end_round : t -> unit
 (** Erase the round secret key. [process] after [end_round] raises. *)

@@ -1,6 +1,7 @@
 module Bigint = Alpenhorn_bigint.Bigint
 module Sha256 = Alpenhorn_crypto.Sha256
 module Tel = Alpenhorn_telemetry.Telemetry
+module Events = Alpenhorn_telemetry.Events
 
 (* Evaluate the line through [t] and [u] (tangent if equal) at the distorted
    point (xq, yq) ∈ F_p², and the vertical line at [t + u]. Returns
@@ -249,7 +250,11 @@ let pair_cached (params : Params.t) a b =
       let gt = pair params a b in
       if Hashtbl.length params.pair_cache >= pair_cache_capacity then begin
         match Queue.take_opt params.pair_cache_fifo with
-        | Some oldest -> Hashtbl.remove params.pair_cache oldest
+        | Some oldest ->
+          Hashtbl.remove params.pair_cache oldest;
+          Events.log Events.default ~severity:Debug
+            ~detail:(Printf.sprintf "capacity %d" pair_cache_capacity)
+            "pairing.cache_evict"
         | None -> ()
       end;
       Hashtbl.replace params.pair_cache key gt;

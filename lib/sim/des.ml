@@ -3,14 +3,21 @@
 
 type event = { time : float; seq : int; thunk : unit -> unit }
 
-type t = { mutable heap : event array; mutable n : int; mutable clock : float; mutable next_seq : int }
+type t = {
+  mutable heap : event array;
+  mutable n : int;
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable max_n : int;
+}
 
 let dummy = { time = 0.0; seq = 0; thunk = ignore }
 
-let create () = { heap = Array.make 64 dummy; n = 0; clock = 0.0; next_seq = 0 }
+let create () = { heap = Array.make 64 dummy; n = 0; clock = 0.0; next_seq = 0; max_n = 0 }
 
 let now t = t.clock
 let pending t = t.n
+let max_pending t = t.max_n
 
 let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
@@ -48,6 +55,7 @@ let schedule t ~at thunk =
   t.heap.(t.n) <- { time = at; seq = t.next_seq; thunk };
   t.next_seq <- t.next_seq + 1;
   t.n <- t.n + 1;
+  if t.n > t.max_n then t.max_n <- t.n;
   sift_up t.heap (t.n - 1)
 
 let after t ~delay thunk =

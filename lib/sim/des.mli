@@ -28,3 +28,9 @@ val step : t -> bool
 (** Execute the single earliest event; [false] if the queue was empty. *)
 
 val pending : t -> int
+(** Events currently queued — the instantaneous queue depth. *)
+
+val max_pending : t -> int
+(** High-water mark of {!pending} over the engine's lifetime. Backs the
+    [sim.des_pending_max] gauge {!Round_sim} samples for the SLO health
+    engine. *)

@@ -1,5 +1,7 @@
 module Mailbox = Alpenhorn_mixnet.Mailbox
 module Tel = Alpenhorn_telemetry.Telemetry
+module Trace = Alpenhorn_telemetry.Trace
+module Events = Alpenhorn_telemetry.Events
 
 type timeline = { server_done : float array; publish : float; client_done : float }
 
@@ -15,9 +17,17 @@ type timeline = { server_done : float array; publish : float; client_done : floa
    DES clock: spans carry simulated timestamps, and per-hop counters hold
    the modeled message counts. [scan_metric]/[scan_ops] name and size the
    client-side scan counter ("client.scan_attempts" = IBE decryptions for
-   add-friend, "client.dial_tokens_checked" for dialing). *)
-let replay (m : Costmodel.machine) ~phase ~scan_metric ~scan_ops ~n_servers ~batch0
-    ~noise_per_server ~t_noise ~msg_bytes ~mailbox_bytes ~scan_seconds ~chunks =
+   add-friend, "client.dial_tokens_checked" for dialing).
+
+   When a [tracer] is supplied, one candidate message riding chunk 0 is
+   offered to its sampler; if sampled, its causal path — client.submit →
+   mix.hop per server → mailbox.publish → client.scan — is recorded as
+   trace-labeled spans stitched by parent span ids. The context rides the
+   chunk as an OCaml value only; modeled message sizes and counts are
+   unchanged (trace contexts never touch the wire, DESIGN.md §9). *)
+let replay (m : Costmodel.machine) ?tracer ?(events = Events.default) ~phase ~scan_metric
+    ~scan_ops ~n_servers ~batch0 ~noise_per_server ~t_noise ~msg_bytes ~mailbox_bytes
+    ~mailbox_load ~scan_seconds ~chunks () =
   if chunks < 1 then invalid_arg "Round_sim: chunks";
   let des = Des.create () in
   let reg = Tel.default in
@@ -33,14 +43,30 @@ let replay (m : Costmodel.machine) ~phase ~scan_metric ~scan_ops ~n_servers ~bat
     Array.init n_servers (fun i -> Tel.Histogram.v reg ~labels:(labels i) "mix.unwrap_seconds")
   in
   let c_scan = Tel.Counter.v reg scan_metric in
+  let g_pending = Tel.Gauge.v reg "sim.des_pending" in
+  let g_pending_max = Tel.Gauge.v reg "sim.des_pending_max" in
+  let g_mailbox_load = Tel.Gauge.v reg "mailbox.max_load" in
   let round_int x = int_of_float (Float.round x) in
   let server_done = Array.make n_servers 0.0 in
   let publish = ref 0.0 and client_done = ref 0.0 in
   (* per-server: when its pipeline becomes free *)
   let free_at = Array.make n_servers 0.0 in
   let chunks_seen = Array.make n_servers 0 in
+  let sample_queue_depth () =
+    Tel.Gauge.set g_pending (float_of_int (Des.pending des));
+    Tel.Gauge.set g_pending_max (float_of_int (Des.max_pending des))
+  in
+  let trace_emit ctx ?labels name ~ts ~dur =
+    match tracer with Some tr -> Trace.emit tr ctx ?labels ~name ~ts ~dur () | None -> ()
+  in
+  let trace_child ctx =
+    match (tracer, ctx) with Some tr, Some c -> Some (Trace.child tr c) | _ -> None
+  in
+  (* the traced message's mailbox-publish context, kept so the scan span
+     can parent to it even when publish waits for a later chunk *)
+  let traced_mb = ref None in
   (* messages per chunk grows along the chain as servers add noise *)
-  let rec deliver server chunk_msgs chunk_index =
+  let rec deliver server chunk_msgs chunk_index trace =
     let unwrap_seconds = chunk_msgs *. m.Costmodel.t_unwrap /. float_of_int m.Costmodel.cores in
     (* amortize this server's noise generation into its first chunk *)
     let first_chunk = chunks_seen.(server) = 0 in
@@ -58,65 +84,104 @@ let replay (m : Costmodel.machine) ~phase ~scan_metric ~scan_ops ~n_servers ~bat
     if first_chunk then Tel.Counter.add c_noise.(server) (round_int noise_per_server);
     Tel.Span.emit reg ~labels:(labels server) ~depth:1 ~name:"mix.server_process" ~ts:start
       ~dur:proc_seconds ();
+    let hop = trace_child trace in
+    Option.iter
+      (fun ctx -> trace_emit ctx ~labels:(labels server) "mix.hop" ~ts:start ~dur:proc_seconds)
+      hop;
     let out_msgs = chunk_msgs +. (noise_per_server /. float_of_int chunks) in
     Tel.Counter.add c_out.(server) (round_int out_msgs);
     let transfer = out_msgs *. msg_bytes /. m.Costmodel.link_bandwidth in
     let arrival = finish +. transfer +. (m.Costmodel.rtt /. 2.0) in
+    Events.log events ~severity:Debug
+      ~labels:(("chunk", string_of_int chunk_index) :: labels server)
+      ~detail:(Printf.sprintf "%d messages" (round_int out_msgs))
+      "sim.chunk_forward";
     if server + 1 < n_servers then
-      Des.schedule des ~at:arrival (fun () -> deliver (server + 1) out_msgs chunk_index)
+      Des.schedule des ~at:arrival (fun () -> deliver (server + 1) out_msgs chunk_index hop)
     else begin
       (* last server: chunk lands in the mailboxes; publish after the final
          chunk, then the client downloads and scans *)
       Des.schedule des ~at:arrival (fun () ->
+          (match trace_child hop with
+          | Some ctx ->
+            trace_emit ctx "mailbox.publish" ~ts:(Des.now des) ~dur:0.0;
+            traced_mb := Some ctx
+          | None -> ());
           if chunk_index = chunks - 1 then begin
             publish := Des.now des;
+            Events.log events ~labels:[ ("phase", phase) ] "round.publish";
             let download = mailbox_bytes /. m.Costmodel.client_bandwidth in
             Tel.Span.emit reg ~depth:1 ~name:"client.download" ~ts:!publish ~dur:download ();
             Tel.Span.emit reg ~depth:1 ~name:"client.scan" ~ts:(!publish +. download)
               ~dur:scan_seconds ();
+            (match trace_child !traced_mb with
+            | Some ctx ->
+              trace_emit ctx "client.scan" ~ts:(!publish +. download) ~dur:scan_seconds
+            | None -> ());
             Tel.Counter.add c_scan (round_int scan_ops);
             Des.after des ~delay:(download +. scan_seconds) (fun () ->
-                client_done := Des.now des)
-          end)
-    end
+                client_done := Des.now des;
+                sample_queue_depth ())
+          end;
+          sample_queue_depth ())
+    end;
+    sample_queue_depth ()
   in
   Tel.with_clock reg ~kind:"sim" (fun () -> Des.now des) (fun () ->
+      Events.log events
+        ~labels:[ ("phase", phase) ]
+        ~detail:(Printf.sprintf "%d messages in %d chunks over %d servers" batch0 chunks n_servers)
+        "round.start";
+      Tel.Gauge.set g_mailbox_load mailbox_load;
+      let root =
+        (* one candidate message (riding chunk 0) offered to the sampler *)
+        match tracer with Some tr -> Trace.sample tr | None -> None
+      in
+      Option.iter (fun ctx -> trace_emit ctx "client.submit" ~ts:0.0 ~dur:0.0) root;
       let per_chunk = float_of_int batch0 /. float_of_int chunks in
       for i = 0 to chunks - 1 do
-        Des.schedule des ~at:0.0 (fun () -> deliver 0 per_chunk i)
+        let trace = if i = 0 then root else None in
+        Des.schedule des ~at:0.0 (fun () -> deliver 0 per_chunk i trace)
       done;
       Des.run des;
-      Tel.Span.emit reg ~name:("round." ^ phase) ~ts:0.0 ~dur:!client_done ());
+      sample_queue_depth ();
+      Tel.Span.emit reg ~name:("round." ^ phase) ~ts:0.0 ~dur:!client_done ();
+      Events.log events
+        ~labels:[ ("phase", phase) ]
+        ~detail:(Printf.sprintf "client done at %g s" !client_done)
+        "round.close");
   { server_done; publish = !publish; client_done = !client_done }
 
-let addfriend m (pc : Costmodel.protocol_costs) ~n_users ~n_servers ~noise_mu ~active_fraction
-    ~chunks =
+let addfriend m ?tracer ?events (pc : Costmodel.protocol_costs) ~n_users ~n_servers ~noise_mu
+    ~active_fraction ~chunks =
   let active = int_of_float (Float.round (float_of_int n_users *. active_fraction)) in
   let k = Mailbox.num_mailboxes_for ~expected_real:active ~noise_mu ~chain_length:n_servers in
   let requests_in_mailbox =
     (float_of_int active /. float_of_int k) +. (noise_mu *. float_of_int n_servers)
   in
-  replay m ~phase:"addfriend" ~scan_metric:"client.scan_attempts" ~scan_ops:requests_in_mailbox
-    ~n_servers ~batch0:n_users ~noise_per_server:(noise_mu *. float_of_int k)
-    ~t_noise:m.Costmodel.t_ibe_encrypt
+  replay m ?tracer ?events ~phase:"addfriend" ~scan_metric:"client.scan_attempts"
+    ~scan_ops:requests_in_mailbox ~n_servers ~batch0:n_users
+    ~noise_per_server:(noise_mu *. float_of_int k) ~t_noise:m.Costmodel.t_ibe_encrypt
     ~msg_bytes:(float_of_int (pc.Costmodel.request_bytes + pc.Costmodel.payload_header_bytes))
     ~mailbox_bytes:(requests_in_mailbox *. float_of_int pc.Costmodel.request_bytes)
+    ~mailbox_load:requests_in_mailbox
     ~scan_seconds:
       (requests_in_mailbox *. m.Costmodel.t_ibe_decrypt /. float_of_int m.Costmodel.client_cores)
-    ~chunks
+    ~chunks ()
 
-let dialing m (pc : Costmodel.protocol_costs) ~n_users ~n_servers ~noise_mu ~active_fraction
-    ~friends ~intents ~chunks =
+let dialing m ?tracer ?events (pc : Costmodel.protocol_costs) ~n_users ~n_servers ~noise_mu
+    ~active_fraction ~friends ~intents ~chunks =
   let active = int_of_float (Float.round (float_of_int n_users *. active_fraction)) in
   let k = Mailbox.num_mailboxes_for ~expected_real:active ~noise_mu ~chain_length:n_servers in
   let tokens_in_mailbox =
     (float_of_int active /. float_of_int k) +. (noise_mu *. float_of_int n_servers)
   in
-  replay m ~phase:"dialing" ~scan_metric:"client.dial_tokens_checked"
+  replay m ?tracer ?events ~phase:"dialing" ~scan_metric:"client.dial_tokens_checked"
     ~scan_ops:(float_of_int (friends * intents)) ~n_servers ~batch0:n_users
     ~noise_per_server:(noise_mu *. float_of_int k) ~t_noise:m.Costmodel.t_token
     ~msg_bytes:(float_of_int (pc.Costmodel.dial_token_bytes + pc.Costmodel.payload_header_bytes))
     ~mailbox_bytes:(tokens_in_mailbox *. float_of_int pc.Costmodel.bloom_bits_per_token /. 8.0)
+    ~mailbox_load:tokens_in_mailbox
     ~scan_seconds:
       (float_of_int (friends * intents) *. m.Costmodel.t_token /. float_of_int m.Costmodel.client_cores)
-    ~chunks
+    ~chunks ()

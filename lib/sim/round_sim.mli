@@ -21,7 +21,26 @@
     round ([mix.onions_in{server=i}], [mix.unwrap_seconds{server=i}],
     [client.scan_attempts], …), with spans timestamped on the simulated
     clock — so a [round_sim] run and a wall-clock run produce snapshots and
-    Chrome traces with identical schema. *)
+    Chrome traces with identical schema.
+
+    Observability extensions (DESIGN.md §9):
+
+    - [?tracer]: one candidate message riding chunk 0 is offered to the
+      sampler; if sampled, its causal path (client.submit → one [mix.hop]
+      per server → [mailbox.publish] → [client.scan]) is recorded as
+      trace-labeled spans chained by parent span ids — the stitched
+      per-message trace the Chrome exporter and
+      {!Alpenhorn_telemetry.Trace.pp_timelines} render. The context is an
+      OCaml value riding the chunk; nothing about the modeled messages
+      changes.
+    - [?events] (default {!Alpenhorn_telemetry.Events.default}): round
+      start/publish/close and per-chunk forwards are logged as structured
+      events on the simulated clock.
+    - Queue-depth gauges: [sim.des_pending] is sampled from {!Des.pending}
+      at every delivery event (zero again at quiescence) and
+      [sim.des_pending_max] holds {!Des.max_pending}'s high-water mark;
+      [mailbox.max_load] carries the modeled per-mailbox load for the
+      {!Alpenhorn_telemetry.Slo} §6 ceiling rule. *)
 
 type timeline = {
   server_done : float array;  (** when each server finished its last chunk *)
@@ -31,6 +50,8 @@ type timeline = {
 
 val addfriend :
   Costmodel.machine ->
+  ?tracer:Alpenhorn_telemetry.Trace.t ->
+  ?events:Alpenhorn_telemetry.Events.t ->
   Costmodel.protocol_costs ->
   n_users:int ->
   n_servers:int ->
@@ -42,6 +63,8 @@ val addfriend :
 
 val dialing :
   Costmodel.machine ->
+  ?tracer:Alpenhorn_telemetry.Trace.t ->
+  ?events:Alpenhorn_telemetry.Events.t ->
   Costmodel.protocol_costs ->
   n_users:int ->
   n_servers:int ->

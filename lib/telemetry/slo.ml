@@ -1,0 +1,148 @@
+(* Declarative SLO rules evaluated over immutable snapshots: the health
+   engine never touches live metrics, so evaluation is free of
+   observer effects and a simulated round is checked by exactly the same
+   rules as a wall-clock one. *)
+
+type source =
+  | Counter of string
+  | Gauge of string
+  | Hist_mean of string
+  | Hist_p99 of string
+  | Hist_max of string
+  | Span_total of string
+  | Span_max of string
+  | Span_count of string
+  | Hit_rate of string * string
+
+type cmp = Le | Ge
+
+type rule = { name : string; description : string; source : source; cmp : cmp; threshold : float }
+
+let rule ~name ~description source cmp threshold = { name; description; source; cmp; threshold }
+
+(* Gauges keep one value per label set; health cares about the worst. *)
+let gauge_max (snap : Telemetry.Snapshot.t) name =
+  List.fold_left
+    (fun acc (n, _, v) -> if n = name then Some (match acc with None -> v | Some a -> Float.max a v) else acc)
+    None snap.gauges
+
+let hist_merged (snap : Telemetry.Snapshot.t) name =
+  let merged =
+    List.fold_left
+      (fun acc (n, _, s) -> if n = name then Telemetry.Histogram.merge acc s else acc)
+      Telemetry.Histogram.empty snap.histograms
+  in
+  if merged.Telemetry.Histogram.count = 0 then None else Some merged
+
+let span_max (snap : Telemetry.Snapshot.t) name =
+  List.fold_left
+    (fun acc (sp : Telemetry.Snapshot.span) ->
+      if sp.name = name then Some (match acc with None -> sp.dur | Some a -> Float.max a sp.dur)
+      else acc)
+    None snap.spans
+
+let counter_opt (snap : Telemetry.Snapshot.t) name =
+  if List.exists (fun (n, _, _) -> n = name) snap.counters then
+    Some (float_of_int (Telemetry.Snapshot.counter_sum snap name))
+  else None
+
+let rec value_of snap = function
+  | Counter n -> counter_opt snap n
+  | Gauge n -> gauge_max snap n
+  | Hist_mean n -> Option.map Telemetry.Histogram.mean (hist_merged snap n)
+  | Hist_p99 n -> Option.map (fun s -> Telemetry.Histogram.quantile s 0.99) (hist_merged snap n)
+  | Hist_max n -> Option.map (fun s -> s.Telemetry.Histogram.max_v) (hist_merged snap n)
+  | Span_total n ->
+    if Telemetry.Snapshot.span_count snap n = 0 then None
+    else Some (Telemetry.Snapshot.span_total snap n)
+  | Span_max n -> span_max snap n
+  | Span_count n -> Some (float_of_int (Telemetry.Snapshot.span_count snap n))
+  | Hit_rate (hits, misses) -> begin
+    match (value_of snap (Counter hits), value_of snap (Counter misses)) with
+    | None, None -> None
+    | h, m ->
+      let h = Option.value ~default:0.0 h and m = Option.value ~default:0.0 m in
+      if h +. m <= 0.0 then None else Some (h /. (h +. m))
+  end
+
+type check = { rule : rule; value : float option; pass : bool }
+
+type report = { checks : check list; healthy : bool }
+
+let check_rule snap r =
+  match value_of snap r.source with
+  | None -> { rule = r; value = None; pass = true } (* metric absent: rule does not apply *)
+  | Some v ->
+    let pass = match r.cmp with Le -> v <= r.threshold | Ge -> v >= r.threshold in
+    { rule = r; value = Some v; pass }
+
+let evaluate rules snap =
+  let checks = List.map (check_rule snap) rules in
+  { checks; healthy = List.for_all (fun c -> c.pass) checks }
+
+(* ---- Alpenhorn's built-in rule set ---- *)
+
+let default_rules ?(addfriend_deadline = infinity) ?(dialing_deadline = infinity)
+    ?(mailbox_ceiling = infinity) ?(cache_hit_floor = 0.0) () =
+  [
+    rule ~name:"round.addfriend.deadline"
+      ~description:"slowest add-friend round finishes within its deadline"
+      (Span_max "round.addfriend") Le addfriend_deadline;
+    rule ~name:"round.dialing.deadline"
+      ~description:"slowest dialing round finishes within its deadline"
+      (Span_max "round.dialing") Le dialing_deadline;
+    rule ~name:"mailbox.load"
+      ~description:"fullest mailbox stays under the section-6 load ceiling"
+      (Gauge "mailbox.max_load") Le mailbox_ceiling;
+    rule ~name:"pairing.cache_hit_rate"
+      ~description:"fixed-argument pairing cache keeps its hit-rate floor"
+      (Hit_rate ("pairing.cache_hits", "pairing.cache_misses"))
+      Ge cache_hit_floor;
+    rule ~name:"mix.drops" ~description:"no onion failed to decrypt at any hop"
+      (Counter "mix.onions_dropped") Le 0.0;
+    rule ~name:"sim.quiescent" ~description:"DES event queue drained at snapshot time"
+      (Gauge "sim.des_pending") Le 0.0;
+  ]
+
+(* ---- rendering ---- *)
+
+let cmp_to_string = function Le -> "<=" | Ge -> ">="
+
+let pp_report fmt r =
+  Format.fprintf fmt "SLO health report: %s@\n" (if r.healthy then "HEALTHY" else "UNHEALTHY");
+  List.iter
+    (fun c ->
+      let status = if not c.pass then "FAIL" else if c.value = None then "skip" else "ok" in
+      let value = match c.value with None -> "-" | Some v -> Printf.sprintf "%g" v in
+      Format.fprintf fmt "  [%-4s] %-28s %10s %s %g  (%s)@\n" status c.rule.name value
+        (cmp_to_string c.rule.cmp) c.rule.threshold c.rule.description)
+    r.checks
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float f = if Float.is_finite f then Printf.sprintf "%.9g" f else "null"
+
+let report_to_json r =
+  let check_json c =
+    Printf.sprintf
+      "{\"rule\":\"%s\",\"description\":\"%s\",\"cmp\":\"%s\",\"threshold\":%s,\"value\":%s,\"pass\":%b}"
+      (json_escape c.rule.name)
+      (json_escape c.rule.description)
+      (cmp_to_string c.rule.cmp)
+      (json_float c.rule.threshold)
+      (match c.value with None -> "null" | Some v -> json_float v)
+      c.pass
+  in
+  Printf.sprintf "{\"healthy\":%b,\"checks\":[%s]}" r.healthy
+    (String.concat "," (List.map check_json r.checks))

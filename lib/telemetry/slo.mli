@@ -1,0 +1,74 @@
+(** SLO / health engine: declarative rules evaluated over snapshots
+    (DESIGN.md §9).
+
+    A {!rule} names a scalar {!source} derived from a
+    {!Telemetry.Snapshot.t} (counter sum, worst gauge, histogram
+    statistic, span statistic, or a hit-rate over two counters), a
+    comparison and a threshold. {!evaluate} turns a rule list and a
+    snapshot into a pass/fail {!report}. Rules whose metric is absent
+    from the snapshot are {e skipped} (reported with [value = None],
+    passing), so one rule set serves wall-clock rounds, simulated rounds
+    and partial deployments alike.
+
+    {!default_rules} is Alpenhorn's built-in set: round-deadline misses
+    for both phases, the §6 mailbox-load ceiling, the pairing-cache
+    hit-rate floor, zero undecryptable onions, and DES queue quiescence. *)
+
+type source =
+  | Counter of string  (** {!Telemetry.Snapshot.counter_sum} *)
+  | Gauge of string  (** max over the gauge's label sets *)
+  | Hist_mean of string  (** mean of label-merged histogram *)
+  | Hist_p99 of string
+  | Hist_max of string
+  | Span_total of string  (** summed duration of spans with this name *)
+  | Span_max of string  (** slowest single span *)
+  | Span_count of string
+  | Hit_rate of string * string
+      (** [Hit_rate (hits, misses)] = hits / (hits + misses); absent when
+          both counters are missing or their sum is zero *)
+
+type cmp = Le | Ge
+
+type rule = {
+  name : string;
+  description : string;
+  source : source;
+  cmp : cmp;
+  threshold : float;
+}
+
+val rule : name:string -> description:string -> source -> cmp -> float -> rule
+
+val value_of : Telemetry.Snapshot.t -> source -> float option
+(** The scalar a source denotes in this snapshot; [None] when the
+    underlying metric is absent (or a hit-rate has no observations). *)
+
+type check = {
+  rule : rule;
+  value : float option;  (** [None] = metric absent, rule skipped *)
+  pass : bool;
+}
+
+type report = { checks : check list; healthy : bool }
+
+val check_rule : Telemetry.Snapshot.t -> rule -> check
+val evaluate : rule list -> Telemetry.Snapshot.t -> report
+
+val default_rules :
+  ?addfriend_deadline:float ->
+  ?dialing_deadline:float ->
+  ?mailbox_ceiling:float ->
+  ?cache_hit_floor:float ->
+  unit ->
+  rule list
+(** Alpenhorn's built-in rule set. Deadlines and the mailbox ceiling
+    default to [infinity] (never fail) and the cache floor to [0.0], so
+    callers opt into exactly the bounds they can justify; the zero-drop
+    and DES-quiescence rules are always armed. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** One line per rule: [[ok|FAIL|skip] name value cmp threshold]. *)
+
+val report_to_json : report -> string
+(** Self-contained JSON document; non-finite thresholds serialize as
+    [null]. *)

@@ -72,6 +72,7 @@ let create ?(clock = wall_clock) ?(clock_kind = "wall") () =
 
 let default = create ()
 let now r = r.clock ()
+let since_epoch r = r.clock () -. r.epoch
 let clock_kind r = r.ckind
 
 let set_clock r ~kind clock =
@@ -209,9 +210,16 @@ let push_span r sp =
   end
 
 module Span = struct
+  (* A span is timed entirely on the clock in effect when it opens: the
+     epoch-relative start, the clock function used for the duration and the
+     recorded clock kind are all captured at open, so a [set_clock] /
+     [with_clock] swap while the span is open cannot mix two timebases
+     (regression-tested in test_telemetry.ml). *)
   let with_ r ?(labels = []) name f =
     let labels = normalize_labels labels in
-    let t0 = r.clock () in
+    let clock0 = r.clock and kind0 = r.ckind in
+    let t0 = clock0 () in
+    let ts_rel = t0 -. r.epoch in
     let depth = r.depth in
     r.depth <- depth + 1;
     Fun.protect
@@ -221,10 +229,10 @@ module Span = struct
           {
             sp_name = name;
             sp_labels = labels;
-            sp_ts = t0 -. r.epoch;
-            sp_dur = r.clock () -. t0;
+            sp_ts = ts_rel;
+            sp_dur = clock0 () -. t0;
             sp_depth = depth;
-            sp_clock = r.ckind;
+            sp_clock = kind0;
           })
       f
 
@@ -479,12 +487,20 @@ module Snapshot = struct
     ^ "]}"
 end
 
-(* ---- minimal JSON well-formedness checker ---- *)
+(* ---- minimal JSON parser (strict RFC 8259) ---- *)
 
 module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
   exception Bad
 
-  let is_valid s =
+  let parse s =
     let n = String.length s in
     let pos = ref 0 in
     let peek () = if !pos < n then Some s.[!pos] else None in
@@ -522,6 +538,7 @@ module Json = struct
       | _ -> raise Bad
     in
     let number () =
+      let start = !pos in
       if peek () = Some '-' then advance ();
       int_part ();
       if peek () = Some '.' then begin
@@ -533,10 +550,45 @@ module Json = struct
         advance ();
         (match peek () with Some ('+' | '-') -> advance () | _ -> ());
         digits ()
-      | _ -> ())
+      | _ -> ());
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> Num f
+      | None -> raise Bad
+    in
+    (* UTF-8-encode one code point into [b] *)
+    let add_utf8 b cp =
+      if cp < 0x80 then Buffer.add_char b (Char.chr cp)
+      else if cp < 0x800 then begin
+        Buffer.add_char b (Char.chr (0xc0 lor (cp lsr 6)));
+        Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3f)))
+      end
+      else if cp < 0x10000 then begin
+        Buffer.add_char b (Char.chr (0xe0 lor (cp lsr 12)));
+        Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+        Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3f)))
+      end
+      else begin
+        Buffer.add_char b (Char.chr (0xf0 lor (cp lsr 18)));
+        Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 12) land 0x3f)));
+        Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+        Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3f)))
+      end
+    in
+    let hex4 () =
+      let v = ref 0 in
+      for _ = 1 to 4 do
+        (match peek () with
+        | Some ('0' .. '9' as c) -> v := (!v * 16) + (Char.code c - Char.code '0')
+        | Some ('a' .. 'f' as c) -> v := (!v * 16) + (Char.code c - Char.code 'a' + 10)
+        | Some ('A' .. 'F' as c) -> v := (!v * 16) + (Char.code c - Char.code 'A' + 10)
+        | _ -> raise Bad);
+        advance ()
+      done;
+      !v
     in
     let string_lit () =
       expect '"';
+      let b = Buffer.create 16 in
       let rec go () =
         match peek () with
         | None -> raise Bad
@@ -544,78 +596,137 @@ module Json = struct
         | Some '\\' ->
           advance ();
           (match peek () with
-          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+          | Some ('"' as c) | Some ('\\' as c) | Some ('/' as c) ->
+            Buffer.add_char b c;
             advance ();
             go ()
+          | Some 'b' -> Buffer.add_char b '\b'; advance (); go ()
+          | Some 'f' -> Buffer.add_char b '\012'; advance (); go ()
+          | Some 'n' -> Buffer.add_char b '\n'; advance (); go ()
+          | Some 'r' -> Buffer.add_char b '\r'; advance (); go ()
+          | Some 't' -> Buffer.add_char b '\t'; advance (); go ()
           | Some 'u' ->
             advance ();
-            for _ = 1 to 4 do
-              match peek () with
-              | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
-              | _ -> raise Bad
-            done;
+            let cp = hex4 () in
+            (* combine a surrogate pair when one follows; otherwise keep the
+               lone escape as U+FFFD *)
+            let cp =
+              if cp >= 0xd800 && cp <= 0xdbff
+                 && !pos + 1 < n && s.[!pos] = '\\' && s.[!pos + 1] = 'u' then begin
+                advance ();
+                advance ();
+                let lo = hex4 () in
+                if lo >= 0xdc00 && lo <= 0xdfff then
+                  0x10000 + ((cp - 0xd800) lsl 10) + (lo - 0xdc00)
+                else 0xfffd
+              end
+              else if cp >= 0xd800 && cp <= 0xdfff then 0xfffd
+              else cp
+            in
+            add_utf8 b cp;
             go ()
           | _ -> raise Bad)
         | Some c when Char.code c < 0x20 -> raise Bad
-        | Some _ ->
+        | Some c ->
+          Buffer.add_char b c;
           advance ();
           go ()
       in
-      go ()
+      go ();
+      Buffer.contents b
     in
     let rec value () =
       skip_ws ();
-      (match peek () with
-      | Some '{' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some '}' then advance ()
-        else begin
-          let rec members () =
-            skip_ws ();
-            string_lit ();
-            skip_ws ();
-            expect ':';
-            value ();
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-              advance ();
-              members ()
-            | Some '}' -> advance ()
-            | _ -> raise Bad
-          in
-          members ()
-        end
-      | Some '[' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some ']' then advance ()
-        else begin
-          let rec elements () =
-            value ();
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-              advance ();
-              elements ()
-            | Some ']' -> advance ()
-            | _ -> raise Bad
-          in
-          elements ()
-        end
-      | Some '"' -> string_lit ()
-      | Some 't' -> literal "true"
-      | Some 'f' -> literal "false"
-      | Some 'n' -> literal "null"
-      | Some ('-' | '0' .. '9') -> number ()
-      | _ -> raise Bad);
-      skip_ws ()
+      let v =
+        match peek () with
+        | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then begin
+            advance ();
+            Obj []
+          end
+          else begin
+            let rec members acc =
+              skip_ws ();
+              let k = string_lit () in
+              skip_ws ();
+              expect ':';
+              let v = value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                advance ();
+                members ((k, v) :: acc)
+              | Some '}' ->
+                advance ();
+                List.rev ((k, v) :: acc)
+              | _ -> raise Bad
+            in
+            Obj (members [])
+          end
+        | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then begin
+            advance ();
+            Arr []
+          end
+          else begin
+            let rec elements acc =
+              let v = value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                advance ();
+                elements (v :: acc)
+              | Some ']' ->
+                advance ();
+                List.rev (v :: acc)
+              | _ -> raise Bad
+            in
+            Arr (elements [])
+          end
+        | Some '"' -> Str (string_lit ())
+        | Some 't' ->
+          literal "true";
+          Bool true
+        | Some 'f' ->
+          literal "false";
+          Bool false
+        | Some 'n' ->
+          literal "null";
+          Null
+        | Some ('-' | '0' .. '9') -> number ()
+        | _ -> raise Bad
+      in
+      skip_ws ();
+      v
     in
     match
-      value ();
-      if !pos <> n then raise Bad
+      let v = value () in
+      if !pos <> n then raise Bad;
+      v
     with
-    | () -> true
-    | exception Bad -> false
+    | v -> Some v
+    | exception Bad -> None
+
+  let is_valid s = parse s <> None
+
+  let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+  let index i = function Arr vs -> List.nth_opt vs i | _ -> None
+  let to_num = function Num f -> Some f | _ -> None
+  let to_str = function Str s -> Some s | _ -> None
+
+  let number_leaves v =
+    let rec walk path v acc =
+      let key k = if path = "" then k else path ^ "." ^ k in
+      match v with
+      | Num f -> (path, f) :: acc
+      | Obj kvs -> List.fold_left (fun acc (k, v) -> walk (key k) v acc) acc kvs
+      | Arr vs ->
+        snd (List.fold_left (fun (i, acc) v -> (i + 1, walk (key (string_of_int i)) v acc)) (0, acc) vs)
+      | Null | Bool _ | Str _ -> acc
+    in
+    List.rev (walk "" v [])
 end

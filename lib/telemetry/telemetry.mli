@@ -41,6 +41,10 @@ val wall_clock : unit -> float
 val now : registry -> float
 (** Current reading of the registry's clock. *)
 
+val since_epoch : registry -> float
+(** Current clock reading relative to the registry epoch — the timebase
+    spans and structured events are recorded on. *)
+
 val clock_kind : registry -> string
 
 val set_clock : registry -> kind:string -> (unit -> float) -> unit
@@ -129,7 +133,13 @@ module Span : sig
   (** Time a lexical scope on the registry clock. Nesting depth is
       tracked, so child spans render inside their parent in the trace
       view. Exception-safe: the span is recorded even if the thunk
-      raises. *)
+      raises.
+
+      A span is timed entirely on the clock in effect when it {e opens}:
+      the epoch-relative start, the duration clock and the recorded clock
+      kind are all captured at open. Swapping the registry clock
+      ({!set_clock} / {!with_clock}) while a span is open therefore cannot
+      mix timebases — the straddling span keeps its opening clock. *)
 
   val emit :
     registry -> ?labels:labels -> ?depth:int -> name:string -> ts:float -> dur:float -> unit -> unit
@@ -195,8 +205,32 @@ end
 (** {1 Minimal JSON parser} *)
 
 module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val parse : string -> t option
+  (** Strict RFC 8259 parser (no external dependencies). String escapes
+      are decoded ([\uXXXX] to UTF-8, surrogate pairs combined, lone
+      surrogates to U+FFFD). [None] on any deviation from the grammar. *)
+
   val is_valid : string -> bool
-  (** Strict RFC 8259 well-formedness check — used by tests and the bench
-      smoke target to validate emitted snapshots without external
-      dependencies. *)
+  (** [parse s <> None] — used by tests and the bench smoke target to
+      validate emitted snapshots. *)
+
+  val member : string -> t -> t option
+  (** Object field lookup; [None] on non-objects. *)
+
+  val index : int -> t -> t option
+  val to_num : t -> float option
+  val to_str : t -> string option
+
+  val number_leaves : t -> (string * float) list
+  (** Every numeric leaf with its dotted path (array elements indexed), in
+      document order — the flattening {!Alpenhorn_bench_diff} compares
+      across benchmark snapshots. *)
 end

@@ -21,6 +21,9 @@ let () =
       ("vuvuzela", Test_vuvuzela.suite);
       ("sim", Test_sim.suite);
       ("telemetry", Test_telemetry.suite);
+      ("trace", Test_trace.suite);
+      ("slo", Test_slo.suite);
+      ("bench_diff", Test_bench_diff.suite);
       ("privacy", Test_privacy.suite);
       ("ratelimit", Test_ratelimit.suite);
       ("entry", Test_entry.suite);

@@ -187,4 +187,101 @@ let unit_tests =
           ]);
   ]
 
-let suite = unit_tests
+(* A span straddling a clock swap must keep its opening clock — both the
+   recorded kind and the timebase (a wall-epoch span read against a sim
+   clock would show an absurd ts/dur). *)
+let straddle_tests =
+  [
+    Alcotest.test_case "clock swap mid-span cannot mix timebases" `Quick (fun () ->
+        let r = fresh () in
+        let sim = ref 1_000_000.0 in
+        Tel.Span.with_ r "straddler" (fun () ->
+            Tel.set_clock r ~kind:"sim" (fun () -> !sim);
+            sim := !sim +. 5.0);
+        let s = Tel.Snapshot.take r in
+        match s.Tel.Snapshot.spans with
+        | [ sp ] ->
+          Alcotest.(check string) "keeps its opening clock kind" "wall" sp.clock;
+          Alcotest.(check bool) "ts stays epoch-relative wall, not sim-absolute" true
+            (sp.ts >= 0.0 && sp.ts < 60.0);
+          Alcotest.(check bool) "dur sane and non-negative" true
+            (sp.dur >= 0.0 && sp.dur < 60.0)
+        | l -> Alcotest.failf "expected 1 span, got %d" (List.length l));
+  ]
+
+let json_parse_tests =
+  [
+    Alcotest.test_case "Json.parse structure and accessors" `Quick (fun () ->
+        let doc =
+          match Tel.Json.parse {|{"a": [1, {"b": -2.5e1}], "s": "xé", "n": null}|} with
+          | Some d -> d
+          | None -> Alcotest.fail "parse failed"
+        in
+        let num path_steps =
+          List.fold_left
+            (fun acc step -> Option.bind acc step)
+            (Some doc) path_steps
+          |> fun v -> Option.bind v Tel.Json.to_num
+        in
+        Alcotest.(check (option (float 1e-9))) "a[0]" (Some 1.0)
+          (num [ Tel.Json.member "a"; Tel.Json.index 0 ]);
+        Alcotest.(check (option (float 1e-9))) "a[1].b" (Some (-25.0))
+          (num [ Tel.Json.member "a"; Tel.Json.index 1; Tel.Json.member "b" ]);
+        Alcotest.(check (option string)) "unicode escape decoded" (Some "x\xc3\xa9")
+          (Option.bind (Tel.Json.member "s" doc) Tel.Json.to_str);
+        Alcotest.(check bool) "null member present" true (Tel.Json.member "n" doc = Some Tel.Json.Null);
+        Alcotest.(check bool) "absent member" true (Tel.Json.member "zz" doc = None);
+        Alcotest.(check (list (pair string (float 1e-9)))) "number_leaves with array paths"
+          [ ("a.0", 1.0); ("a.1.b", -25.0) ]
+          (Tel.Json.number_leaves doc));
+  ]
+
+let events_tests =
+  [
+    Alcotest.test_case "ring overwrites oldest and counts drops" `Quick (fun () ->
+        let r = fresh () in
+        let ev = Alpenhorn_telemetry.Events.create ~capacity:3 r in
+        let module E = Alpenhorn_telemetry.Events in
+        for i = 1 to 5 do
+          E.log ev ~labels:[ ("i", string_of_int i) ] "tick"
+        done;
+        Alcotest.(check int) "length capped at capacity" 3 (E.length ev);
+        Alcotest.(check int) "two events overwritten" 2 (E.dropped ev);
+        Alcotest.(check (list string)) "oldest-first, oldest two gone"
+          [ "3"; "4"; "5" ]
+          (List.map (fun (e : E.event) -> List.assoc "i" e.E.labels) (E.to_list ev));
+        E.clear ev;
+        Alcotest.(check int) "clear empties" 0 (E.length ev);
+        Alcotest.(check int) "clear resets drops" 0 (E.dropped ev);
+        Alcotest.(check bool) "capacity < 1 rejected" true
+          (try
+             ignore (E.create ~capacity:0 r);
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "JSON-lines exporter is valid on both clocks" `Quick (fun () ->
+        let module E = Alpenhorn_telemetry.Events in
+        let check_registry r expected_clock =
+          let ev = E.create ~capacity:16 r in
+          E.log ev ~severity:E.Warn
+            ~labels:[ ("server", "2") ]
+            ~detail:"7 onions failed to decrypt \"quoted\"" "mix.decode_failure";
+          E.log ev "round.close";
+          let lines = String.split_on_char '\n' (String.trim (E.to_jsonl ev)) in
+          Alcotest.(check int) "one line per event" 2 (List.length lines);
+          List.iter
+            (fun line ->
+              Alcotest.(check bool) ("valid JSON: " ^ line) true (Tel.Json.is_valid line);
+              let doc = Option.get (Tel.Json.parse line) in
+              Alcotest.(check (option string)) "clock field" (Some expected_clock)
+                (Option.bind (Tel.Json.member "clock" doc) Tel.Json.to_str);
+              Alcotest.(check bool) "severity field present" true
+                (Tel.Json.member "severity" doc <> None))
+            lines
+        in
+        check_registry (fresh ()) "wall";
+        let sim = fresh () in
+        Tel.set_clock sim ~kind:"sim" (fun () -> 42.0);
+        check_registry sim "sim");
+  ]
+
+let suite = unit_tests @ straddle_tests @ json_parse_tests @ events_tests
