@@ -19,6 +19,7 @@ module Client = Alpenhorn_core.Client
 module Deployment = Alpenhorn_core.Deployment
 module Costmodel = Alpenhorn_sim.Costmodel
 module Round_sim = Alpenhorn_sim.Round_sim
+module Faults = Alpenhorn_sim.Faults
 module Util = Alpenhorn_crypto.Util
 module Tel = Alpenhorn_telemetry.Telemetry
 module Trace = Alpenhorn_telemetry.Trace
@@ -240,8 +241,26 @@ let params_cmd =
 (* ---- simulate ---- *)
 
 let run_simulate users servers dial_minutes af_hours calibrate metrics metrics_json trace events
-    slo trace_sample =
+    slo trace_sample faults_spec fault_seed =
   let tracer = make_tracer trace_sample in
+  let faults =
+    match (faults_spec, fault_seed) with
+    | Some _, Some _ ->
+      prerr_endline "alpenhorn: --faults and --fault-seed are mutually exclusive";
+      exit 2
+    | Some spec, None -> begin
+      match Faults.parse spec with
+      | Ok t -> t
+      | Error e ->
+        Printf.eprintf "alpenhorn: bad --faults spec: %s\n" e;
+        exit 2
+    end
+    | None, Some seed -> Faults.generate ~seed ~rounds:1 ~n_servers:servers ()
+    | None, None -> Faults.empty
+  in
+  let have_faults = not (Faults.is_empty faults) in
+  if have_faults then
+    Printf.eprintf "fault schedule (seed %s): %s\n" (Faults.seed faults) (Faults.to_string faults);
   let pr = Params.production () in
   let pc = Costmodel.protocol_costs pr in
   let m =
@@ -281,23 +300,47 @@ let run_simulate users servers dial_minutes af_hours calibrate metrics metrics_j
   Printf.printf "total: %.2f KB/s (%.1f GB/month)\n"
     ((af_bw +. dial_bw) /. 1000.0)
     ((af_bw +. dial_bw) *. 86400.0 *. 30.0 /. 1e9);
-  if metrics || metrics_json <> None || trace <> None || events <> None || slo || tracer <> None
+  if
+    metrics || metrics_json <> None || trace <> None || events <> None || slo || tracer <> None
+    || have_faults
   then begin
     (* replay one add-friend + one dialing round on the DES engine so the
-       snapshot and trace carry per-hop counters and simulated-clock spans *)
+       snapshot and trace carry per-hop counters and simulated-clock spans;
+       a fault schedule turns each replay into an abort/backoff/retry loop
+       on the same simulated clock (DESIGN.md §10) *)
     ignore (Tel.Snapshot.take ~reset:true Tel.default);
-    ignore
-      (Round_sim.addfriend m ?tracer pc ~n_users:users ~n_servers:servers ~noise_mu:4000.0
-         ~active_fraction:0.05 ~chunks:1);
-    ignore
-      (Round_sim.dialing m ?tracer pc ~n_users:users ~n_servers:servers ~noise_mu:25000.0
-         ~active_fraction:0.05 ~friends:1000 ~intents:10 ~chunks:1);
+    let af_tl =
+      Round_sim.addfriend m ?tracer ~faults pc ~n_users:users ~n_servers:servers ~noise_mu:4000.0
+        ~active_fraction:0.05 ~chunks:1
+    in
+    let dial_tl =
+      Round_sim.dialing m ?tracer ~faults pc ~n_users:users ~n_servers:servers ~noise_mu:25000.0
+        ~active_fraction:0.05 ~friends:1000 ~intents:10 ~chunks:1
+    in
+    if have_faults then
+      List.iter
+        (fun (phase, (tl : Round_sim.timeline)) ->
+          if tl.Round_sim.completed then
+            Printf.printf "%s round under faults: completed after %d attempt%s (publish at %.1f s)\n"
+              phase tl.Round_sim.attempts
+              (if tl.Round_sim.attempts = 1 then "" else "s")
+              tl.Round_sim.publish
+          else
+            Printf.printf "%s round under faults: FAILED after %d attempts\n" phase
+              tl.Round_sim.attempts)
+        [ ("add-friend", af_tl); ("dialing", dial_tl) ];
     let slo_rules =
       if slo then
+        let policy = Faults.default_policy in
         Some
           (Slo.default_rules
              ~addfriend_deadline:(af_hours *. 3600.0)
              ~dialing_deadline:(dial_minutes *. 60.0)
+             (* fault bounds only bind when the schedule actually injected
+                faults; a fully-failed round (streak = max_attempts) trips
+                the streak rule *)
+             ~max_consecutive_aborts:(float_of_int (policy.Faults.max_attempts - 1))
+             ~recovery_ceiling:(Stdlib.max (af_hours *. 3600.0) (dial_minutes *. 60.0))
              ())
       else None
     in
@@ -325,11 +368,32 @@ let simulate_cmd =
           ~doc:"Measure this host's primitives (test curve) instead of the paper-calibrated \
                 constants; the calibration record is included in the JSON snapshot.")
   in
+  let faults =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:
+            "Inject a deterministic fault schedule into the round replay. $(docv) is a \
+             semicolon-separated list of kind@round:key=value,... entries, e.g. \
+             \"crash@1:server=1;stall@1:server=0,seconds=45\". Kinds: crash, stall, latency, \
+             loss, offline. Mutually exclusive with --fault-seed.")
+  in
+  let fault_seed =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fault-seed" ] ~docv:"SEED"
+          ~doc:
+            "Generate a random fault schedule from $(docv) (same seed, same schedule, same \
+             failure trace, forever). Mutually exclusive with --faults.")
+  in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Price a deployment with the paper-calibrated cost model.")
     Term.(
       const run_simulate $ users $ servers $ dial_minutes $ af_hours $ calibrate $ metrics_arg
-      $ metrics_json_arg $ trace_arg $ events_arg $ slo_arg $ trace_sample_arg)
+      $ metrics_json_arg $ trace_arg $ events_arg $ slo_arg $ trace_sample_arg $ faults
+      $ fault_seed)
 
 let () =
   let doc = "Alpenhorn: metadata-private bootstrapping (OCaml reproduction)" in

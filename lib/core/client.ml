@@ -130,6 +130,78 @@ let pinned_key t ~email = Hashtbl.find_opt t.pinned email
 let pending_add_friends t = List.length t.addfriend_queue + List.length t.confirm_queue
 let pending_calls t = List.length t.call_queue
 
+(* ---- round abort recovery (DESIGN.md §10) ---- *)
+
+type retry_policy = {
+  max_attempts : int;
+  base_delay : float;
+  backoff_factor : float;
+  max_delay : float;
+  jitter : float;
+  round_timeout : float;
+}
+
+let default_retry_policy =
+  {
+    max_attempts = 4;
+    base_delay = 5.0;
+    backoff_factor = 2.0;
+    max_delay = 60.0;
+    jitter = 0.2;
+    round_timeout = 600.0;
+  }
+
+let validate_retry_policy p =
+  if p.max_attempts < 1 then invalid_arg "Client: max_attempts must be >= 1";
+  if p.base_delay < 0.0 || p.max_delay < 0.0 then invalid_arg "Client: negative backoff delay";
+  if p.backoff_factor < 1.0 then invalid_arg "Client: backoff_factor must be >= 1";
+  if p.jitter < 0.0 || p.jitter > 1.0 then invalid_arg "Client: jitter must be in [0, 1]";
+  if p.round_timeout <= 0.0 then invalid_arg "Client: round_timeout must be > 0"
+
+let backoff_delay policy ~seed ~attempt =
+  validate_retry_policy policy;
+  if attempt < 1 then invalid_arg "Client.backoff_delay: attempt must be >= 1";
+  let raw =
+    Stdlib.min policy.max_delay
+      (policy.base_delay *. (policy.backoff_factor ** float_of_int (attempt - 1)))
+  in
+  (* Jitter comes from a DRBG keyed on (seed, attempt) only — never from the
+     client's protocol rng — so retries neither perturb the protocol's
+     randomness stream nor depend on how many draws preceded them. *)
+  let u = Drbg.float (Drbg.create ~seed:(Printf.sprintf "backoff:%s:%d" seed attempt)) in
+  Stdlib.max 0.0 (raw *. (1.0 +. (policy.jitter *. ((2.0 *. u) -. 1.0))))
+
+(* Building a submission consumes queue entries and stores fresh DH state in
+   [outgoing]; if the round then aborts, the request never reached a mailbox
+   and all of it must be replayed. A checkpoint captures exactly the state a
+   submission mutates. The keywheel is deliberately excluded: an aborted
+   round never reaches the scan step (its only mutation site besides
+   [advance_to], which is idempotent). *)
+type checkpoint = {
+  cp_addfriend_queue : string list;
+  cp_confirm_queue : confirmation list;
+  cp_call_queue : (string * int) list;
+  cp_outgoing : (string * outgoing) list;
+}
+
+let copy_outgoing (o : outgoing) =
+  { dh_secret = o.dh_secret; proposed_round = o.proposed_round; expected_key = o.expected_key }
+
+let checkpoint t =
+  {
+    cp_addfriend_queue = t.addfriend_queue;
+    cp_confirm_queue = t.confirm_queue;
+    cp_call_queue = t.call_queue;
+    cp_outgoing = Hashtbl.fold (fun k v acc -> (k, copy_outgoing v) :: acc) t.outgoing [];
+  }
+
+let rollback t cp =
+  t.addfriend_queue <- cp.cp_addfriend_queue;
+  t.confirm_queue <- cp.cp_confirm_queue;
+  t.call_queue <- cp.cp_call_queue;
+  Hashtbl.reset t.outgoing;
+  List.iter (fun (k, v) -> Hashtbl.replace t.outgoing k (copy_outgoing v)) cp.cp_outgoing
+
 (* ---- add-friend rounds (Algorithm 1) ---- *)
 
 let begin_addfriend_round t ~round ~now ~pkgs =

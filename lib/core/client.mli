@@ -80,6 +80,44 @@ val pinned_key : t -> email:string -> Bls.public option
 val pending_add_friends : t -> int
 val pending_calls : t -> int
 
+(** {1 Round abort recovery (DESIGN.md §10)}
+
+    Anytrust (§4.5) aborts a whole round when any server is down. The
+    driver retries the round under a {!retry_policy}; between attempts it
+    rolls each client back to its pre-round {!checkpoint} so queued
+    requests and DH state are replayed instead of silently dropped. *)
+
+type retry_policy = {
+  max_attempts : int;  (** total tries per round, including the first *)
+  base_delay : float;  (** seconds before the first retry *)
+  backoff_factor : float;  (** delay multiplier per further retry *)
+  max_delay : float;  (** backoff cap, before jitter *)
+  jitter : float;  (** fraction in [0, 1]: delay varies by ±jitter *)
+  round_timeout : float;  (** a round stalled past this is abandoned *)
+}
+
+val default_retry_policy : retry_policy
+(** 4 attempts, 5 s base, x2 growth capped at 60 s, ±20% jitter, 600 s
+    round timeout. *)
+
+val backoff_delay : retry_policy -> seed:string -> attempt:int -> float
+(** Delay before re-running a round after failed [attempt] (>= 1):
+    [min max_delay (base_delay * backoff_factor^(attempt-1))] jittered by
+    ±[jitter]. The jitter is drawn from a DRBG keyed on [(seed, attempt)]
+    only — never the client's protocol rng — so the delay sequence is
+    deterministic and retries leave the protocol's randomness untouched.
+    @raise Invalid_argument on a malformed policy or [attempt < 1]. *)
+
+type checkpoint
+(** The client state a round submission mutates: the three request queues
+    and the pending-outgoing DH table. Deliberately excludes the keywheel
+    (an aborted round never reaches the scan step). *)
+
+val checkpoint : t -> checkpoint
+val rollback : t -> checkpoint -> unit
+(** Restore the state captured by {!checkpoint}; a checkpoint may be
+    rolled back to any number of times. *)
+
 (** {1 Add-friend rounds (Algorithm 1)} *)
 
 type af_round

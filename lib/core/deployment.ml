@@ -10,6 +10,18 @@ module Tel = Alpenhorn_telemetry.Telemetry
 module Trace = Alpenhorn_telemetry.Trace
 module Events = Alpenhorn_telemetry.Events
 
+(* What the recovery loop needs to know about a fault schedule, as plain
+   closures: lib/core cannot depend on lib/sim, so Alpenhorn_sim.Faults
+   converts its schedule into this view (Faults.deployment_view). *)
+type fault_view = {
+  fv_seed : string;
+  fv_crash_attempts : round:int -> server:int -> int;
+  fv_stall_seconds : round:int -> server:int -> float;
+  fv_client_offline : round:int -> client:int -> bool;
+}
+
+exception Round_failed of { phase : string; round : int; attempts : int }
+
 type t = {
   config : Config.t;
   params : Params.t;
@@ -23,6 +35,10 @@ type t = {
   mutable af_round : int;
   mutable dial_round : int;
   mutable clock : int;
+  mutable faults : fault_view option;
+  mutable policy : Client.retry_policy;
+  mutable abort_streak : int; (* consecutive aborted attempts; 0 after a good round *)
+  mutable worst_streak : int;
 }
 
 let create ~config ~seed =
@@ -61,6 +77,10 @@ let create ~config ~seed =
     af_round = 0;
     dial_round = 0;
     clock = 0;
+    faults = None;
+    policy = Client.default_retry_policy;
+    abort_streak = 0;
+    worst_streak = 0;
   }
 
 let config t = t.config
@@ -105,10 +125,161 @@ let register t client =
     if not (List.memq client t.clients) then t.clients <- t.clients @ [ client ];
     Ok ()
 
+(* ---- fault injection and recovery (DESIGN.md §10) ---- *)
+
+let set_faults t fv = t.faults <- fv
+let set_retry_policy t p = t.policy <- p
+let retry_policy t = t.policy
+
+let c_aborts = Tel.Counter.v Tel.default "faults.rounds_aborted"
+let c_retries = Tel.Counter.v Tel.default "faults.retries"
+let g_consec = Tel.Gauge.v Tel.default "faults.consecutive_aborts"
+let h_recovery = Tel.Histogram.v Tel.default "faults.recovery_seconds"
+let c_injected kind = Tel.Counter.v Tel.default ~labels:[ ("kind", kind) ] "faults.injected"
+
+(* A stall longer than the policy's round timeout: the round is abandoned
+   exactly like a crash-abort, just with a different event. *)
+exception Stall_timeout
+
+let record_abort t =
+  t.abort_streak <- t.abort_streak + 1;
+  if t.abort_streak > t.worst_streak then t.worst_streak <- t.abort_streak;
+  (* high-water mark, so the SLO check sees mid-run streaks even when the
+     final round succeeded *)
+  Tel.Gauge.set g_consec (float_of_int t.worst_streak);
+  Tel.Counter.inc c_aborts
+
+(* Apply this attempt's scheduled faults. Called right after the chain's
+   [begin_round] — a crash injected here models a server dying after it
+   announced its round key, the case the anytrust abort path exists for. *)
+let inject_faults t chain ~phase ~round ~attempt =
+  match t.faults with
+  | None -> ()
+  | Some fv ->
+    for s = 0 to Chain.chain_length chain - 1 do
+      if fv.fv_crash_attempts ~round ~server:s >= attempt then begin
+        Chain.crash_server chain ~server:s;
+        Tel.Counter.inc (c_injected "crash")
+      end
+    done;
+    if attempt = 1 then begin
+      let stall = ref 0.0 in
+      for s = 0 to Chain.chain_length chain - 1 do
+        stall := !stall +. fv.fv_stall_seconds ~round ~server:s
+      done;
+      if !stall > 0.0 then begin
+        Tel.Counter.inc (c_injected "stall");
+        let timeout = t.policy.Client.round_timeout in
+        if !stall > timeout then begin
+          advance_clock t ~seconds:(int_of_float (Float.ceil timeout));
+          Events.log Events.default ~severity:Warn
+            ~labels:[ ("phase", phase); ("round", string_of_int round) ]
+            ~detail:
+              (Printf.sprintf "stall of %.0f s exceeds the %.0f s round timeout; aborting" !stall
+                 timeout)
+            "round.timeout";
+          raise Stall_timeout
+        end
+        else begin
+          advance_clock t ~seconds:(int_of_float (Float.ceil !stall));
+          Events.log Events.default ~severity:Warn
+            ~labels:[ ("phase", phase); ("round", string_of_int round) ]
+            ~detail:
+              (Printf.sprintf "server stalled %.0f s; round delayed but under the %.0f s timeout"
+                 !stall timeout)
+            "round.stall"
+        end
+      end
+    end
+
+(* The recovery loop around one round: checkpoint every participating
+   client, run the round body, and on a clean abort (any server down, or a
+   stall past the timeout) roll everything per-round back — chain keys,
+   crashed servers restarted, client queues and DH state, [cleanup] for
+   phase-specific state (PKG round secrets) — then re-run after
+   deterministic backoff, up to the policy's attempt budget. *)
+let with_recovery t ~phase ~round ~chain ~clients ~cleanup body =
+  let policy = t.policy in
+  let seed = match t.faults with Some fv -> fv.fv_seed | None -> "faults" in
+  let checkpoints = List.map (fun c -> (c, Client.checkpoint c)) clients in
+  let first_abort_clock = ref None in
+  let rec attempt n =
+    match body ~after_begin:(fun () -> inject_faults t chain ~phase ~round ~attempt:n) with
+    | result ->
+      t.abort_streak <- 0;
+      (match !first_abort_clock with
+       | None -> ()
+       | Some t0 ->
+         let recovery = float_of_int (t.clock - t0) in
+         Tel.Histogram.observe h_recovery recovery;
+         Events.log Events.default
+           ~labels:[ ("phase", phase); ("round", string_of_int round) ]
+           ~detail:(Printf.sprintf "recovered on attempt %d after %.0f s" n recovery)
+           "round.recovered");
+      (result, n)
+    | exception (Chain.Aborted _ | Stall_timeout) ->
+      if !first_abort_clock = None then first_abort_clock := Some t.clock;
+      record_abort t;
+      Chain.abort_round chain;
+      for s = 0 to Chain.chain_length chain - 1 do
+        if Chain.server_down chain ~server:s then Chain.restart_server chain ~server:s
+      done;
+      List.iter (fun (c, cp) -> Client.rollback c cp) checkpoints;
+      cleanup ();
+      if n >= policy.Client.max_attempts then begin
+        Events.log Events.default ~severity:Error
+          ~labels:[ ("phase", phase); ("round", string_of_int round) ]
+          ~detail:(Printf.sprintf "gave up after %d attempts" n)
+          "round.failed";
+        raise (Round_failed { phase; round; attempts = n })
+      end
+      else begin
+        let delay =
+          Client.backoff_delay policy
+            ~seed:(Printf.sprintf "%s:%s:%d" seed phase round)
+            ~attempt:n
+        in
+        advance_clock t ~seconds:(int_of_float (Float.ceil delay));
+        Tel.Counter.inc c_retries;
+        Events.log Events.default ~severity:Warn
+          ~labels:[ ("phase", phase); ("round", string_of_int round) ]
+          ~detail:(Printf.sprintf "attempt %d aborted; retrying after %.1f s backoff" n delay)
+          "round.retry";
+        attempt (n + 1)
+      end
+  in
+  attempt 1
+
+(* Split out the clients the schedule holds offline this round, identified
+   by registration index (stable across the whole run). *)
+let online_clients t ~round clients =
+  match t.faults with
+  | None -> (clients, [])
+  | Some fv ->
+    let index c =
+      let rec go i = function [] -> -1 | x :: rest -> if x == c then i else go (i + 1) rest in
+      go 0 t.clients
+    in
+    List.partition
+      (fun c ->
+        let i = index c in
+        i < 0 || not (fv.fv_client_offline ~round ~client:i))
+      clients
+
+let log_offline ~phase ~round offline =
+  if offline <> [] then begin
+    Tel.Counter.add (c_injected "offline") (List.length offline);
+    Events.log Events.default
+      ~labels:[ ("phase", phase) ]
+      ~detail:(Printf.sprintf "round %d: %d clients offline" round (List.length offline))
+      "client.offline"
+  end
+
 (* ---- add-friend round (Algorithm 1, orchestrated) ---- *)
 
 type af_stats = {
   af_round : int;
+  af_attempts : int;
   requests_in : int;
   noise_added : int;
   dropped : int;
@@ -152,106 +323,119 @@ let set_mailbox_load counts =
   Tel.Gauge.set g_mailbox_load (float_of_int (Array.fold_left Stdlib.max 0 counts))
 
 let run_addfriend_round t ?tracer ?participants () =
-  Tel.Span.with_ Tel.default "round.addfriend" @@ fun () ->
   let clients = match participants with Some l -> l | None -> t.clients in
   t.af_round <- t.af_round + 1;
   let round = t.af_round in
+  let clients, offline = online_clients t ~round clients in
+  log_offline ~phase:"addfriend" ~round offline;
   Events.log Events.default
     ~labels:[ ("phase", "addfriend") ]
     ~detail:(Printf.sprintf "round %d, %d clients" round (List.length clients))
     "round.start";
-  (* 1. PKGs rotate master keys: commit, then reveal; verify the openings *)
-  let mpk_agg =
-    Tel.Span.with_ Tel.default "pkg.rotate" @@ fun () ->
-    let commitments = Array.map (fun pkg -> Pkg.begin_round pkg ~round) t.pkgs in
-    Array.iteri
-      (fun i pkg ->
-        match Pkg.reveal_round pkg ~round with
-        | Error e -> failwith ("Deployment: reveal failed: " ^ Pkg.error_to_string e)
-        | Ok (mpk, opening) ->
-          if not (Pkg.verify_commitment t.params ~commitment:commitments.(i) ~mpk ~opening) then
-            failwith "Deployment: PKG commitment mismatch")
-      t.pkgs;
-    aggregate_mpk t ~round
-  in
-  let num_mailboxes = num_af_mailboxes t ~participants:(List.length clients) in
-  (* 2. every client extracts identity keys and submits one onion *)
-  let server_pks = Chain.begin_round t.af_chain in
-  let contexts, batch =
-    Tel.Span.with_ Tel.default "client.submit" @@ fun () ->
-    let contexts =
-      List.map
-        (fun c ->
-          match Client.begin_addfriend_round c ~round ~now:t.clock ~pkgs:t.pkgs with
-          | Error e -> failwith ("Deployment: extraction failed: " ^ Pkg.error_to_string e)
-          | Ok ctx -> (c, ctx))
-        clients
+  let body ~after_begin =
+    Tel.Span.with_ Tel.default "round.addfriend" @@ fun () ->
+    (* 1. PKGs rotate master keys: commit, then reveal; verify the openings *)
+    let mpk_agg =
+      Tel.Span.with_ Tel.default "pkg.rotate" @@ fun () ->
+      let commitments = Array.map (fun pkg -> Pkg.begin_round pkg ~round) t.pkgs in
+      Array.iteri
+        (fun i pkg ->
+          match Pkg.reveal_round pkg ~round with
+          | Error e -> failwith ("Deployment: reveal failed: " ^ Pkg.error_to_string e)
+          | Ok (mpk, opening) ->
+            if not (Pkg.verify_commitment t.params ~commitment:commitments.(i) ~mpk ~opening) then
+              failwith "Deployment: PKG commitment mismatch")
+        t.pkgs;
+      aggregate_mpk t ~round
     in
-    let batch =
-      List.map
+    let num_mailboxes = num_af_mailboxes t ~participants:(List.length clients) in
+    (* 2. every client extracts identity keys and submits one onion *)
+    let server_pks = Chain.begin_round t.af_chain in
+    after_begin ();
+    let contexts, batch =
+      Tel.Span.with_ Tel.default "client.submit" @@ fun () ->
+      let contexts =
+        List.map
+          (fun c ->
+            match Client.begin_addfriend_round c ~round ~now:t.clock ~pkgs:t.pkgs with
+            | Error e -> failwith ("Deployment: extraction failed: " ^ Pkg.error_to_string e)
+            | Ok ctx -> (c, ctx))
+          clients
+      in
+      let batch =
+        List.map
+          (fun (c, ctx) ->
+            Client.addfriend_submission_traced c ctx ?tracer ~mpk_agg ~num_mailboxes ~server_pks ())
+          contexts
+        |> Array.of_list
+      in
+      (contexts, batch)
+    in
+    (* 3. the mixnet chain runs the round *)
+    let mailboxes, stats, published =
+      Chain.run_round_traced t.af_chain ~mode:`AddFriend
+        ~noise_mu:t.config.Config.addfriend_noise_mu ~laplace_b:t.config.Config.laplace_b
+        ~num_mailboxes
+        ~noise_body:(fun ~mailbox -> af_noise_body t ~mpk_agg ~mailbox)
+        ?tracer batch
+    in
+    let buckets = Mailbox.plain_exn mailboxes in
+    set_mailbox_load (Array.map List.length buckets);
+    (* 4-6. every client downloads its mailbox and scans *)
+    let events =
+      Tel.Span.with_ Tel.default "client.scan" @@ fun () ->
+      List.concat_map
         (fun (c, ctx) ->
-          Client.addfriend_submission_traced c ctx ?tracer ~mpk_agg ~num_mailboxes ~server_pks ())
+          let mb = Mailbox.mailbox_of_identity (Client.email c) ~num_mailboxes in
+          let t0 = Tel.now Tel.default in
+          let evs = Client.scan_addfriend_mailbox c ctx buckets.(mb) in
+          (match tracer with
+          | Some tr ->
+            (* stitch the recipient-side scan onto each traced message that
+               landed in this client's mailbox *)
+            List.iter
+              (fun (pmb, pctx) ->
+                if pmb = mb then
+                  Trace.emit tr (Trace.child tr pctx)
+                    ~labels:[ ("client", Client.email c) ]
+                    ~name:"client.scan" ~ts:t0 ~dur:(Tel.now Tel.default -. t0) ())
+              published
+          | None -> ());
+          List.map (fun ev -> (Client.email c, ev)) evs)
         contexts
-      |> Array.of_list
     in
-    (contexts, batch)
+    (* PKGs erase master secrets *)
+    Array.iter (fun pkg -> Pkg.end_round pkg ~round) t.pkgs;
+    advance_clock t ~seconds:t.config.Config.addfriend_round_seconds;
+    Events.log Events.default
+      ~labels:[ ("phase", "addfriend") ]
+      ~detail:
+        (Printf.sprintf "round %d: %d in, %d noise, %d dropped" round stats.Chain.real_in
+           stats.Chain.noise_added stats.Chain.dropped)
+      "round.close";
+    {
+      af_round = round;
+      af_attempts = 1;
+      requests_in = stats.Chain.real_in;
+      noise_added = stats.Chain.noise_added;
+      dropped = stats.Chain.dropped;
+      num_mailboxes;
+      mailbox_bytes = Mailbox.size_bytes mailboxes;
+      events;
+    }
   in
-  (* 3. the mixnet chain runs the round *)
-  let mailboxes, stats, published =
-    Chain.run_round_traced t.af_chain ~mode:`AddFriend
-      ~noise_mu:t.config.Config.addfriend_noise_mu ~laplace_b:t.config.Config.laplace_b
-      ~num_mailboxes
-      ~noise_body:(fun ~mailbox -> af_noise_body t ~mpk_agg ~mailbox)
-      ?tracer batch
+  let stats, attempts =
+    with_recovery t ~phase:"addfriend" ~round ~chain:t.af_chain ~clients
+      ~cleanup:(fun () -> Array.iter (fun pkg -> Pkg.end_round pkg ~round) t.pkgs)
+      body
   in
-  let buckets = Mailbox.plain_exn mailboxes in
-  set_mailbox_load (Array.map List.length buckets);
-  (* 4-6. every client downloads its mailbox and scans *)
-  let events =
-    Tel.Span.with_ Tel.default "client.scan" @@ fun () ->
-    List.concat_map
-      (fun (c, ctx) ->
-        let mb = Mailbox.mailbox_of_identity (Client.email c) ~num_mailboxes in
-        let t0 = Tel.now Tel.default in
-        let evs = Client.scan_addfriend_mailbox c ctx buckets.(mb) in
-        (match tracer with
-        | Some tr ->
-          (* stitch the recipient-side scan onto each traced message that
-             landed in this client's mailbox *)
-          List.iter
-            (fun (pmb, pctx) ->
-              if pmb = mb then
-                Trace.emit tr (Trace.child tr pctx)
-                  ~labels:[ ("client", Client.email c) ]
-                  ~name:"client.scan" ~ts:t0 ~dur:(Tel.now Tel.default -. t0) ())
-            published
-        | None -> ());
-        List.map (fun ev -> (Client.email c, ev)) evs)
-      contexts
-  in
-  (* PKGs erase master secrets *)
-  Array.iter (fun pkg -> Pkg.end_round pkg ~round) t.pkgs;
-  advance_clock t ~seconds:t.config.Config.addfriend_round_seconds;
-  Events.log Events.default
-    ~labels:[ ("phase", "addfriend") ]
-    ~detail:
-      (Printf.sprintf "round %d: %d in, %d noise, %d dropped" round stats.Chain.real_in
-         stats.Chain.noise_added stats.Chain.dropped)
-    "round.close";
-  {
-    af_round = round;
-    requests_in = stats.Chain.real_in;
-    noise_added = stats.Chain.noise_added;
-    dropped = stats.Chain.dropped;
-    num_mailboxes;
-    mailbox_bytes = Mailbox.size_bytes mailboxes;
-    events;
-  }
+  { stats with af_attempts = attempts }
 
 (* ---- dialing round (§5) ---- *)
 
 type dial_stats = {
   dial_round : int;
+  dial_attempts : int;
   tokens_in : int;
   dial_noise_added : int;
   dial_dropped : int;
@@ -268,69 +452,109 @@ let num_dial_mailboxes t ~participants =
     ~chain_length:t.config.Config.chain_length
 
 let run_dialing_round t ?tracer ?participants () =
-  Tel.Span.with_ Tel.default "round.dialing" @@ fun () ->
   let clients = match participants with Some l -> l | None -> t.clients in
-  t.dial_round <- t.dial_round + 1;
-  let round = t.dial_round in
+  let round = t.dial_round + 1 in
+  let clients, offline = online_clients t ~round clients in
+  log_offline ~phase:"dialing" ~round offline;
+  (* A faulted client coming back online first replays the archived filters
+     of the rounds it slept through (§5.1/§5.3) — before this round runs,
+     so its keywheel is caught up and this round's tokens still reach it.
+     Only under a fault schedule: plain [?participants] churn keeps the
+     explicit [catch_up_client] contract. *)
+  let recovered =
+    if t.faults = None then []
+    else
+      List.concat_map
+        (fun c ->
+          let first = Client.dialing_round c + 1 in
+          if first > t.dial_round then []
+          else begin
+            let through =
+              List.init
+                (t.dial_round - first + 1)
+                (fun i ->
+                  let r = first + i in
+                  match Hashtbl.find_opt t.dial_archive r with
+                  | None -> (r, None)
+                  | Some (filters, k) ->
+                    (r, Some filters.(Mailbox.mailbox_of_identity (Client.email c) ~num_mailboxes:k)))
+            in
+            List.map (fun ev -> (Client.email c, ev)) (Client.catch_up_dialing c ~through)
+          end)
+        clients
+  in
+  t.dial_round <- round;
   Events.log Events.default
     ~labels:[ ("phase", "dialing") ]
     ~detail:(Printf.sprintf "round %d, %d clients" round (List.length clients))
     "round.start";
-  let num_mailboxes = num_dial_mailboxes t ~participants:(List.length clients) in
-  List.iter (fun c -> Client.advance_dialing c ~round) clients;
-  let server_pks = Chain.begin_round t.dial_chain in
-  let batch =
-    Tel.Span.with_ Tel.default "client.submit" @@ fun () ->
-    List.map (fun c -> Client.dialing_submission_traced c ?tracer ~num_mailboxes ~server_pks ())
-      clients
-    |> Array.of_list
+  let body ~after_begin =
+    Tel.Span.with_ Tel.default "round.dialing" @@ fun () ->
+    let num_mailboxes = num_dial_mailboxes t ~participants:(List.length clients) in
+    List.iter (fun c -> Client.advance_dialing c ~round) clients;
+    let server_pks = Chain.begin_round t.dial_chain in
+    after_begin ();
+    let batch =
+      Tel.Span.with_ Tel.default "client.submit" @@ fun () ->
+      List.map (fun c -> Client.dialing_submission_traced c ?tracer ~num_mailboxes ~server_pks ())
+        clients
+      |> Array.of_list
+    in
+    let mailboxes, stats, published =
+      Chain.run_round_traced t.dial_chain ~mode:`Dialing ~noise_mu:t.config.Config.dialing_noise_mu
+        ~laplace_b:t.config.Config.laplace_b ~num_mailboxes
+        ~noise_body:(fun ~mailbox:_ -> Drbg.bytes t.rng Wire.dial_token_size)
+        ?tracer batch
+    in
+    let filters = Mailbox.filters_exn mailboxes in
+    (* archive this round's filters; erase rounds past the retention window.
+       Only a completed round is archived — an aborted attempt never
+       publishes, not even partially. *)
+    Hashtbl.replace t.dial_archive round (filters, num_mailboxes);
+    Hashtbl.remove t.dial_archive (round - t.config.Config.dial_archive_rounds);
+    let calls =
+      Tel.Span.with_ Tel.default "client.scan" @@ fun () ->
+      List.concat_map
+        (fun c ->
+          let mb = Mailbox.mailbox_of_identity (Client.email c) ~num_mailboxes in
+          let t0 = Tel.now Tel.default in
+          let evs = Client.scan_dialing_mailbox c filters.(mb) in
+          (match tracer with
+          | Some tr ->
+            List.iter
+              (fun (pmb, pctx) ->
+                if pmb = mb then
+                  Trace.emit tr (Trace.child tr pctx)
+                    ~labels:[ ("client", Client.email c) ]
+                    ~name:"client.scan" ~ts:t0 ~dur:(Tel.now Tel.default -. t0) ())
+              published
+          | None -> ());
+          List.map (fun ev -> (Client.email c, ev)) evs)
+        clients
+    in
+    advance_clock t ~seconds:t.config.Config.dialing_round_seconds;
+    Events.log Events.default
+      ~labels:[ ("phase", "dialing") ]
+      ~detail:
+        (Printf.sprintf "round %d: %d in, %d noise, %d dropped" round stats.Chain.real_in
+           stats.Chain.noise_added stats.Chain.dropped)
+      "round.close";
+    {
+      dial_round = round;
+      dial_attempts = 1;
+      tokens_in = stats.Chain.real_in;
+      dial_noise_added = stats.Chain.noise_added;
+      dial_dropped = stats.Chain.dropped;
+      dial_num_mailboxes = num_mailboxes;
+      filter_bytes = Mailbox.size_bytes mailboxes;
+      calls;
+    }
   in
-  let mailboxes, stats, published =
-    Chain.run_round_traced t.dial_chain ~mode:`Dialing ~noise_mu:t.config.Config.dialing_noise_mu
-      ~laplace_b:t.config.Config.laplace_b ~num_mailboxes
-      ~noise_body:(fun ~mailbox:_ -> Drbg.bytes t.rng Wire.dial_token_size)
-      ?tracer batch
+  let stats, attempts =
+    with_recovery t ~phase:"dialing" ~round ~chain:t.dial_chain ~clients ~cleanup:(fun () -> ())
+      body
   in
-  let filters = Mailbox.filters_exn mailboxes in
-  (* archive this round's filters; erase rounds past the retention window *)
-  Hashtbl.replace t.dial_archive round (filters, num_mailboxes);
-  Hashtbl.remove t.dial_archive (round - t.config.Config.dial_archive_rounds);
-  let calls =
-    Tel.Span.with_ Tel.default "client.scan" @@ fun () ->
-    List.concat_map
-      (fun c ->
-        let mb = Mailbox.mailbox_of_identity (Client.email c) ~num_mailboxes in
-        let t0 = Tel.now Tel.default in
-        let evs = Client.scan_dialing_mailbox c filters.(mb) in
-        (match tracer with
-        | Some tr ->
-          List.iter
-            (fun (pmb, pctx) ->
-              if pmb = mb then
-                Trace.emit tr (Trace.child tr pctx)
-                  ~labels:[ ("client", Client.email c) ]
-                  ~name:"client.scan" ~ts:t0 ~dur:(Tel.now Tel.default -. t0) ())
-            published
-        | None -> ());
-        List.map (fun ev -> (Client.email c, ev)) evs)
-      clients
-  in
-  advance_clock t ~seconds:t.config.Config.dialing_round_seconds;
-  Events.log Events.default
-    ~labels:[ ("phase", "dialing") ]
-    ~detail:
-      (Printf.sprintf "round %d: %d in, %d noise, %d dropped" round stats.Chain.real_in
-         stats.Chain.noise_added stats.Chain.dropped)
-    "round.close";
-  {
-    dial_round = round;
-    tokens_in = stats.Chain.real_in;
-    dial_noise_added = stats.Chain.noise_added;
-    dial_dropped = stats.Chain.dropped;
-    dial_num_mailboxes = num_mailboxes;
-    filter_bytes = Mailbox.size_bytes mailboxes;
-    calls;
-  }
+  { stats with dial_attempts = attempts; calls = recovered @ stats.calls }
 
 let archived_filter (t : t) ~round ~email =
   match Hashtbl.find_opt t.dial_archive round with

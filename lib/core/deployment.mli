@@ -36,8 +36,42 @@ val inbox : t -> email:string -> (int * string) list
 (** Tokens the simulated email provider delivered to [email]:
     (pkg index, token) pairs, most recent first. For compromise tests. *)
 
+(** {1 Fault injection and recovery (DESIGN.md §10)} *)
+
+type fault_view = {
+  fv_seed : string;  (** keys the deterministic backoff jitter *)
+  fv_crash_attempts : round:int -> server:int -> int;
+      (** the server is down for the round's first N attempts *)
+  fv_stall_seconds : round:int -> server:int -> float;
+      (** first-attempt processing delay; past the policy's
+          [round_timeout] it aborts the round *)
+  fv_client_offline : round:int -> client:int -> bool;
+      (** client (by registration index) sits the round out *)
+}
+(** A fault schedule as plain closures. lib/core cannot see lib/sim, so
+    {!Alpenhorn_sim.Faults} converts its schedule into this view
+    ([Faults.deployment_view]); tests can also hand-roll one. *)
+
+exception Round_failed of { phase : string; round : int; attempts : int }
+(** Every attempt the retry policy allowed aborted. The deployment is
+    left consistent: servers restarted, clients rolled back, nothing
+    published — the next round can run normally. *)
+
+val set_faults : t -> fault_view option -> unit
+(** Install (or clear) the fault schedule applied to subsequent rounds.
+    Faults are injected just after the chain announces its round keys —
+    the server-dies-mid-round case the anytrust abort path (§4.5) exists
+    for. An aborted round rolls every participant back and re-runs after
+    deterministic exponential backoff (clock time, {!advance_clock});
+    aborts, retries and recovery time land in the [faults.*] metrics. *)
+
+val set_retry_policy : t -> Client.retry_policy -> unit
+val retry_policy : t -> Client.retry_policy
+(** Defaults to {!Client.default_retry_policy}. *)
+
 type af_stats = {
   af_round : int;
+  af_attempts : int;  (** 1 = no abort; [n] = recovered on the nth try *)
   requests_in : int;
   noise_added : int;
   dropped : int;
@@ -57,10 +91,15 @@ val run_addfriend_round :
     (client.submit → per-server mix.hop → mailbox.publish → client.scan);
     trace contexts ride out-of-band and the wire bytes are unchanged
     (DESIGN.md §9). The round also logs [round.start]/[round.close] events
-    and sets the [mailbox.max_load] gauge for the SLO engine. *)
+    and sets the [mailbox.max_load] gauge for the SLO engine.
+
+    Under a fault schedule ({!set_faults}) the round may abort and re-run;
+    [af_attempts] reports how many tries it took.
+    @raise Round_failed when the retry budget is exhausted. *)
 
 type dial_stats = {
   dial_round : int;
+  dial_attempts : int;  (** 1 = no abort; [n] = recovered on the nth try *)
   tokens_in : int;
   dial_noise_added : int;
   dial_dropped : int;
@@ -72,7 +111,10 @@ type dial_stats = {
 val run_dialing_round :
   t -> ?tracer:Alpenhorn_telemetry.Trace.t -> ?participants:Client.t list -> unit -> dial_stats
 (** One dialing round (§5); same observability hooks as
-    {!run_addfriend_round}. *)
+    {!run_addfriend_round}. Under a fault schedule, a round may abort and
+    re-run (see {!set_faults}; [calls] then also carries events recovered
+    by returning offline clients replaying archived filters).
+    @raise Round_failed when the retry budget is exhausted. *)
 
 val addfriend_round_number : t -> int
 val dialing_round_number : t -> int

@@ -30,7 +30,8 @@ let open_round t ann =
   | Some _ -> invalid_arg "Entry.open_round: round already open"
   | None ->
     t.open_ <- Some ann;
-    t.batch <- []
+    t.batch <- [];
+    Option.iter Ratelimit.begin_round t.gate
 
 let current t = t.open_
 
@@ -66,6 +67,18 @@ let close_round t =
     let batch = Array.of_list (List.rev t.batch) in
     t.open_ <- None;
     t.batch <- [];
+    Option.iter Ratelimit.commit_round t.gate;
     batch
+
+(* Clean abort: the batch is discarded and every token admitted for this
+   round is un-spent, so clients can resubmit the same token when the
+   round is re-run (the §9 quota covers sends, not retries). *)
+let abort_round t =
+  match t.open_ with
+  | None -> invalid_arg "Entry.abort_round: no open round"
+  | Some _ ->
+    t.open_ <- None;
+    t.batch <- [];
+    (match t.gate with None -> 0 | Some gate -> Ratelimit.rollback_round gate)
 
 let submissions_rejected t = t.rejected

@@ -45,7 +45,16 @@ val submit : t -> ?token:Ratelimit.token -> string -> (unit, [ `No_round | `Bad_
     the mixnet. *)
 
 val close_round : t -> string array
-(** Stop accepting and return the batch for the first mixnet server.
+(** Stop accepting and return the batch for the first mixnet server; any
+    tokens admitted for the round become permanently spent.
+    @raise Invalid_argument if no round is open. *)
+
+val abort_round : t -> int
+(** Abort the open round cleanly (DESIGN.md §10): the queued batch is
+    discarded and — when the gate is active — every token admitted for
+    this round is un-spent (see {!Ratelimit.rollback_round}), so clients
+    can resubmit the same token when the round is re-run. Returns the
+    number of tokens rolled back.
     @raise Invalid_argument if no round is open. *)
 
 val submissions_rejected : t -> int

@@ -64,6 +64,23 @@ let session_key t ~email =
   | None -> None
   | Some e -> if e.round > t.clock then None else Some (session_of e.key)
 
+(* §5.3 offline catch-up: a client that missed rounds rolls every wheel
+   forward in one pass. Same per-entry evolution as [advance_to] — the two
+   paths land on identical keys (verified against a never-offline twin in
+   the chaos suite). Returns how many rounds the clock moved. *)
+let catch_up t ~through =
+  if through <= t.clock then 0
+  else begin
+    let missed = through - t.clock in
+    advance_to t ~round:through;
+    missed
+  end
+
+let copy t =
+  let table = Hashtbl.create (Hashtbl.length t.table) in
+  Hashtbl.iter (fun email e -> Hashtbl.add table email { key = e.key; round = e.round }) t.table;
+  { owner = t.owner; table; clock = t.clock }
+
 let peek_token_at ~secret ~from_round ~at_round ~callee ~intent =
   if at_round < from_round then invalid_arg "Keywheel.peek_token_at";
   let key = ref secret in

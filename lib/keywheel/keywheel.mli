@@ -61,6 +61,18 @@ val session_key : t -> email:string -> string option
 (** Session key for a call in the current round (H3 of the wheel key);
     both sides compute the same value. *)
 
+val catch_up : t -> through:int -> int
+(** Explicit offline catch-up (§5.3): roll every wheel forward to
+    [through] in one pass, erasing the missed rounds' keys, and return how
+    many rounds the clock moved (0 when already caught up — unlike
+    {!advance_to} this never raises on a stale [through]). A wheel that
+    catches up lands on exactly the keys of a wheel that never went
+    offline (chaos-suite twin check, DESIGN.md §10). *)
+
+val copy : t -> t
+(** Independent deep copy — mutating either wheel leaves the other
+    untouched. Powers the chaos suite's never-offline twin. *)
+
 val peek_token_at :
   secret:string -> from_round:int -> at_round:int -> callee:string -> intent:int -> string
 (** Stateless helper: the token a wheel seeded with [secret] at

@@ -4,9 +4,13 @@ module Dh = Alpenhorn_dh.Dh
 module Tel = Alpenhorn_telemetry.Telemetry
 module Trace = Alpenhorn_telemetry.Trace
 
+module Events = Alpenhorn_telemetry.Events
+
 type t = { params : Params.t; servers : Server.t array }
 
 type stats = { real_in : int; noise_added : int; dropped : int; num_mailboxes : int }
+
+exception Aborted of { server : int }
 
 let create params ~rng ~chain_length =
   if chain_length < 1 then invalid_arg "Chain.create: length";
@@ -21,6 +25,23 @@ let create params ~rng ~chain_length =
 let chain_length t = Array.length t.servers
 let servers t = t.servers
 
+let check_server t ~server =
+  if server < 0 || server >= Array.length t.servers then invalid_arg "Chain: server index"
+
+let crash_server t ~server =
+  check_server t ~server;
+  Server.crash t.servers.(server)
+
+let restart_server t ~server =
+  check_server t ~server;
+  Server.restart t.servers.(server)
+
+let server_down t ~server =
+  check_server t ~server;
+  Server.is_down t.servers.(server)
+
+let abort_round t = Array.iter Server.end_round t.servers
+
 let begin_round t = Array.to_list (Array.map Server.new_round t.servers)
 
 let round_pks t =
@@ -34,10 +55,25 @@ let run_round_traced t ~mode ~noise_mu ~laplace_b ~num_mailboxes ~noise_body ?tr
   Tel.Span.with_ Tel.default "mix.round" (fun () ->
       Tel.Counter.inc (Tel.Counter.v Tel.default "mix.rounds");
       let n = Array.length t.servers in
+      (* Anytrust: one dead server kills the round. Abort cleanly — every
+         per-round key is erased, nothing reaches a mailbox (no partial
+         publish) — and let the caller re-run after backoff. *)
+      let abort server =
+        abort_round t;
+        Events.log Events.default ~severity:Error
+          ~labels:[ ("server", string_of_int server) ]
+          ~detail:"server down mid-round; round keys erased, no mailboxes published"
+          "mix.round_abort";
+        raise (Aborted { server })
+      in
+      Array.iteri (fun i s -> if Server.is_down s then abort i) t.servers;
       let pks = Array.of_list (round_pks t) in
       let total_noise = ref 0 in
       let current = ref batch in
       for i = 0 to n - 1 do
+        (* re-checked per hop: a server can die mid-round (e.g. from a
+           noise_body callback in the chaos tests) *)
+        if Server.is_down t.servers.(i) then abort i;
         let downstream_pks = Array.to_list (Array.sub pks (i + 1) (n - i - 1)) in
         let out, noise =
           Tel.Span.with_ Tel.default

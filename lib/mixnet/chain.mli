@@ -17,9 +17,30 @@ type stats = {
   num_mailboxes : int;
 }
 
+exception Aborted of { server : int }
+(** Raised by {!run_round} / {!run_round_traced} when a server is down:
+    the anytrust design (§4.5) cannot complete a round without every
+    server, so the round aborts {e cleanly} — all per-round keys erased,
+    no mailbox published (not even partially), a severity-[Error]
+    [mix.round_abort] event logged — and the caller re-runs it after
+    backoff ({!Alpenhorn_core.Deployment} owns that retry loop). *)
+
 val create : Params.t -> rng:Drbg.t -> chain_length:int -> t
 val chain_length : t -> int
 val servers : t -> Server.t array
+
+(** {2 Fault injection (DESIGN.md §10)} *)
+
+val crash_server : t -> server:int -> unit
+(** {!Server.crash} by chain position: the next (or current) round run
+    raises {!Aborted}. @raise Invalid_argument on a bad index. *)
+
+val restart_server : t -> server:int -> unit
+val server_down : t -> server:int -> bool
+
+val abort_round : t -> unit
+(** Erase every server's round key without processing anything — the
+    explicit form of the cleanup {!Aborted} performs. Idempotent. *)
 
 val begin_round : t -> Alpenhorn_dh.Dh.public list
 (** Rotate every server's round key; returns the public keys, in chain
@@ -36,7 +57,8 @@ val run_round :
   noise_body:Server.noise_body ->
   string array ->
   Mailbox.t * stats
-(** Process one batch end-to-end and erase all round keys. *)
+(** Process one batch end-to-end and erase all round keys.
+    @raise Aborted when any server is down. *)
 
 val run_round_traced :
   t ->

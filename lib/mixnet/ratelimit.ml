@@ -56,9 +56,17 @@ let token_of_bytes (params : Params.t) s =
     | Some signature -> Some { serial = String.sub s 0 serial_size; signature }
   end
 
-type gate = { gparams : Params.t; issuer_key : Bls.public; seen : (string, unit) Hashtbl.t }
+type gate = {
+  gparams : Params.t;
+  issuer_key : Bls.public;
+  seen : (string, unit) Hashtbl.t;
+  (* serials admitted since [begin_round]: the rollback journal. [None]
+     outside any round scope — admissions are then immediately final. *)
+  mutable journal : string list option;
+}
 
-let create_gate params ~issuer_key = { gparams = params; issuer_key; seen = Hashtbl.create 4096 }
+let create_gate params ~issuer_key =
+  { gparams = params; issuer_key; seen = Hashtbl.create 4096; journal = None }
 
 let admit g t =
   if Hashtbl.mem g.seen t.serial then begin
@@ -69,8 +77,30 @@ let admit g t =
     Error `Bad_signature
   else begin
     Hashtbl.replace g.seen t.serial ();
+    (match g.journal with Some j -> g.journal <- Some (t.serial :: j) | None -> ());
     Ok ()
   end
+
+let begin_round g =
+  match g.journal with
+  | Some _ -> invalid_arg "Ratelimit.begin_round: round already open"
+  | None -> g.journal <- Some []
+
+let commit_round g =
+  match g.journal with
+  | None -> invalid_arg "Ratelimit.commit_round: no open round"
+  | Some _ -> g.journal <- None
+
+let rollback_round g =
+  match g.journal with
+  | None -> invalid_arg "Ratelimit.rollback_round: no open round"
+  | Some serials ->
+    List.iter (Hashtbl.remove g.seen) serials;
+    g.journal <- None;
+    Events.log Events.default ~severity:Warn
+      ~detail:(Printf.sprintf "%d admitted tokens un-spent after round abort" (List.length serials))
+      "ratelimit.rollback";
+    List.length serials
 
 let spent_count g = Hashtbl.length g.seen
 

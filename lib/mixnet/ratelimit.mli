@@ -43,6 +43,31 @@ type gate
 val create_gate : Params.t -> issuer_key:Bls.public -> gate
 
 val admit : gate -> token -> (unit, [ `Bad_signature | `Double_spend ]) result
-(** Accept a token once: valid signature on an unseen serial. *)
+(** Accept a token once: valid signature on an unseen serial. Inside a
+    {!begin_round} scope the admission is provisional until
+    {!commit_round}; outside any scope it is immediately final. *)
+
+(** {2 Round scoping (DESIGN.md §10)}
+
+    A mixnet round can abort after the entry server has already admitted
+    tokens (anytrust: any server crash kills the round). Those
+    submissions never reached a mailbox, so their serials must become
+    spendable again — otherwise the client's retry is rejected as a
+    double-spend and the token is silently burned. The gate therefore
+    journals admissions per round: {!begin_round} opens the journal,
+    {!commit_round} finalizes it, {!rollback_round} un-spends every
+    serial admitted since {!begin_round}. *)
+
+val begin_round : gate -> unit
+(** Open a round scope. @raise Invalid_argument if one is already open. *)
+
+val commit_round : gate -> unit
+(** Finalize the open scope: admissions become permanent.
+    @raise Invalid_argument if no scope is open. *)
+
+val rollback_round : gate -> int
+(** Un-spend every serial admitted in the open scope and close it;
+    returns how many were rolled back (logged as a [ratelimit.rollback]
+    event). @raise Invalid_argument if no scope is open. *)
 
 val spent_count : gate -> int

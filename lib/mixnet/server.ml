@@ -23,6 +23,7 @@ type t = {
   pos : int;
   chain_length : int;
   mutable round_key : (Dh.secret * Dh.public) option;
+  mutable down : bool;
   tel : tel;
 }
 
@@ -42,11 +43,22 @@ let create params ~rng ~position ~chain_length =
       h_batch = Tel.Histogram.v Tel.default ~labels "mix.batch_size";
     }
   in
-  { params; rng; pos = position; chain_length; round_key = None; tel }
+  { params; rng; pos = position; chain_length; round_key = None; down = false; tel }
 
 let position t = t.pos
 
+(* Crash/restart model the anytrust failure mode (§4.5): a down server
+   refuses to process; its round key is dropped immediately so an aborted
+   round can never be resumed with stale keys. *)
+let crash t =
+  t.down <- true;
+  t.round_key <- None
+
+let restart t = t.down <- false
+let is_down t = t.down
+
 let new_round t =
+  if t.down then invalid_arg "Server.new_round: server is down";
   let kp = Dh.keygen t.params t.rng in
   t.round_key <- Some kp;
   snd kp

@@ -23,8 +23,22 @@ val create : Params.t -> rng:Drbg.t -> position:int -> chain_length:int -> t
 
 val position : t -> int
 
+(** {2 Fault injection (DESIGN.md §10)} *)
+
+val crash : t -> unit
+(** Take the server down: it refuses to process until {!restart}, and its
+    round key is erased immediately so an aborted round can never resume
+    with stale keys (anytrust failure mode, §4.5). Idempotent. *)
+
+val restart : t -> unit
+(** Bring a crashed server back. It has no round key until the next
+    {!new_round}. Idempotent. *)
+
+val is_down : t -> bool
+
 val new_round : t -> Alpenhorn_dh.Dh.public
-(** Rotate the round keypair and return the public half. *)
+(** Rotate the round keypair and return the public half.
+    @raise Invalid_argument if the server is down. *)
 
 val round_public : t -> Alpenhorn_dh.Dh.public option
 

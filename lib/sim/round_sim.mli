@@ -40,18 +40,37 @@
       at every delivery event (zero again at quiescence) and
       [sim.des_pending_max] holds {!Des.max_pending}'s high-water mark;
       [mailbox.max_load] carries the modeled per-mailbox load for the
-      {!Alpenhorn_telemetry.Slo} §6 ceiling rule. *)
+      {!Alpenhorn_telemetry.Slo} §6 ceiling rule.
+
+    Fault injection (DESIGN.md §10): with [?faults] (a {!Faults.t}
+    schedule, keyed by [?fault_round], default 1) the replay becomes a
+    bounded attempt loop on the same DES clock. A chunk arriving at a
+    crashed server aborts the whole attempt — nothing publishes, matching
+    the anytrust abort (§4.5) — and the round re-runs after
+    {!Faults.backoff_delay}'s deterministic backoff under [?policy]
+    (default {!Faults.default_policy}). Stalls delay a server's first
+    chunk, or abort past the policy's round timeout; link latency
+    multiplies a server's outbound transfer time; link loss thins its
+    outbound chunks. Aborts, retries and recovery time land in the
+    [faults.*] metrics. Same schedule and seed ⇒ the same failure trace,
+    event log included, byte for byte; an empty schedule follows the
+    exact no-fault code path. *)
 
 type timeline = {
   server_done : float array;  (** when each server finished its last chunk *)
-  publish : float;  (** mailboxes available *)
-  client_done : float;  (** download + scan complete *)
+  publish : float;  (** mailboxes available (0 when the round failed) *)
+  client_done : float;  (** download + scan complete (0 when failed) *)
+  attempts : int;  (** 1 = clean; > 1 = aborted then retried *)
+  completed : bool;  (** false iff every allowed attempt aborted *)
 }
 
 val addfriend :
   Costmodel.machine ->
   ?tracer:Alpenhorn_telemetry.Trace.t ->
   ?events:Alpenhorn_telemetry.Events.t ->
+  ?faults:Faults.t ->
+  ?fault_round:int ->
+  ?policy:Faults.policy ->
   Costmodel.protocol_costs ->
   n_users:int ->
   n_servers:int ->
@@ -65,6 +84,9 @@ val dialing :
   Costmodel.machine ->
   ?tracer:Alpenhorn_telemetry.Trace.t ->
   ?events:Alpenhorn_telemetry.Events.t ->
+  ?faults:Faults.t ->
+  ?fault_round:int ->
+  ?policy:Faults.policy ->
   Costmodel.protocol_costs ->
   n_users:int ->
   n_servers:int ->

@@ -83,7 +83,8 @@ let evaluate rules snap =
 (* ---- Alpenhorn's built-in rule set ---- *)
 
 let default_rules ?(addfriend_deadline = infinity) ?(dialing_deadline = infinity)
-    ?(mailbox_ceiling = infinity) ?(cache_hit_floor = 0.0) () =
+    ?(mailbox_ceiling = infinity) ?(cache_hit_floor = 0.0) ?(max_consecutive_aborts = infinity)
+    ?(recovery_ceiling = infinity) () =
   [
     rule ~name:"round.addfriend.deadline"
       ~description:"slowest add-friend round finishes within its deadline"
@@ -91,6 +92,12 @@ let default_rules ?(addfriend_deadline = infinity) ?(dialing_deadline = infinity
     rule ~name:"round.dialing.deadline"
       ~description:"slowest dialing round finishes within its deadline"
       (Span_max "round.dialing") Le dialing_deadline;
+    rule ~name:"faults.consecutive_aborts"
+      ~description:"worst streak of aborted round attempts stays bounded"
+      (Gauge "faults.consecutive_aborts") Le max_consecutive_aborts;
+    rule ~name:"faults.recovery_time"
+      ~description:"slowest abort-to-publish recovery stays under its ceiling"
+      (Hist_max "faults.recovery_seconds") Le recovery_ceiling;
     rule ~name:"mailbox.load"
       ~description:"fullest mailbox stays under the section-6 load ceiling"
       (Gauge "mailbox.max_load") Le mailbox_ceiling;

@@ -59,12 +59,18 @@ val default_rules :
   ?dialing_deadline:float ->
   ?mailbox_ceiling:float ->
   ?cache_hit_floor:float ->
+  ?max_consecutive_aborts:float ->
+  ?recovery_ceiling:float ->
   unit ->
   rule list
-(** Alpenhorn's built-in rule set. Deadlines and the mailbox ceiling
-    default to [infinity] (never fail) and the cache floor to [0.0], so
-    callers opt into exactly the bounds they can justify; the zero-drop
-    and DES-quiescence rules are always armed. *)
+(** Alpenhorn's built-in rule set. Deadlines, the mailbox ceiling and the
+    failure-model bounds ([max_consecutive_aborts] over the
+    [faults.consecutive_aborts] gauge, [recovery_ceiling] in seconds over
+    the [faults.recovery_seconds] histogram — DESIGN.md §10) default to
+    [infinity] (never fail) and the cache floor to [0.0], so callers opt
+    into exactly the bounds they can justify; the zero-drop and
+    DES-quiescence rules are always armed. Fault metrics are absent in a
+    fault-free run, so those rules skip rather than pass vacuously. *)
 
 val pp_report : Format.formatter -> report -> unit
 (** One line per rule: [[ok|FAIL|skip] name value cmp threshold]. *)

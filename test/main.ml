@@ -29,5 +29,6 @@ let () =
       ("entry", Test_entry.suite);
       ("persist", Test_persist.suite);
       ("robustness", Test_robustness.suite);
+      ("faults", Test_faults.suite);
       ("ledger", Test_ledger.suite);
     ]
