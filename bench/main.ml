@@ -2,7 +2,7 @@
    §8, plus the DESIGN.md ablations.
 
    Usage: dune exec bench/main.exe [-- section...]
-   Sections: fig6 fig7 fig8 fig9 fig10 skewsize cpu sizes extract e2e
+   Sections: fig6 fig7 fig8 fig9 fig10 skewsize cpu parallel sizes extract e2e
              ablation-onion ablation-bloom ablation-mailboxes smoke
    With no arguments, every section runs. The "smoke" section also runs
    under `dune runtest`: it validates the telemetry exporters on one tiny
@@ -20,6 +20,7 @@ let sections pc =
     ("skewsize", fun () -> Bench_figures.skewsize pc);
     ("privacy", Bench_privacy.privacy);
     ("cpu", Bench_cpu.cpu);
+    ("parallel", Bench_cpu.parallel);
     ("sizes", Bench_cpu.sizes);
     ("extract", Bench_cpu.extract);
     ("e2e", Bench_e2e.e2e);

@@ -25,6 +25,7 @@ module Tel = Alpenhorn_telemetry.Telemetry
 module Trace = Alpenhorn_telemetry.Trace
 module Events = Alpenhorn_telemetry.Events
 module Slo = Alpenhorn_telemetry.Slo
+module Parallel = Alpenhorn_parallel.Parallel
 
 open Cmdliner
 
@@ -127,6 +128,23 @@ let trace_sample_arg =
           "Enable per-message causal tracing, sampling $(docv) of real submissions \
            (0.0-1.0). Trace contexts ride out-of-band: wire bytes are unchanged.")
 
+let domains_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Size of the data-parallel domain pool used for batch onion unwrap, PKG \
+           extraction and mailbox scans. 1 runs fully sequentially; 0 (the default) \
+           reads the ALPENHORN_DOMAINS environment variable (itself defaulting to 1). \
+           Every pool size produces byte-identical protocol output.")
+
+let apply_domains domains =
+  if domains < 0 then begin
+    prerr_endline "alpenhorn: --domains must be >= 1";
+    exit 2
+  end;
+  if domains > 0 then Parallel.set_default_size domains
+
 let make_tracer trace_sample =
   Option.map
     (fun rate ->
@@ -139,7 +157,9 @@ let make_tracer trace_sample =
 
 (* ---- session ---- *)
 
-let run_session caller callee intent seed metrics metrics_json trace events slo trace_sample =
+let run_session caller callee intent seed metrics metrics_json trace events slo trace_sample
+    domains =
+  apply_domains domains;
   let tracer = make_tracer trace_sample in
   let d = Deployment.create ~config:Config.test ~seed in
   let secret_caller = ref None and secret_callee = ref None in
@@ -212,7 +232,7 @@ let session_cmd =
     (Cmd.info "session" ~doc:"Friend two users and place a call; print the shared secret.")
     Term.(
       const run_session $ caller $ callee $ intent $ seed $ metrics_arg $ metrics_json_arg
-      $ trace_arg $ events_arg $ slo_arg $ trace_sample_arg)
+      $ trace_arg $ events_arg $ slo_arg $ trace_sample_arg $ domains_arg)
 
 (* ---- params ---- *)
 
@@ -241,7 +261,8 @@ let params_cmd =
 (* ---- simulate ---- *)
 
 let run_simulate users servers dial_minutes af_hours calibrate metrics metrics_json trace events
-    slo trace_sample faults_spec fault_seed =
+    slo trace_sample faults_spec fault_seed domains =
+  apply_domains domains;
   let tracer = make_tracer trace_sample in
   let faults =
     match (faults_spec, fault_seed) with
@@ -267,8 +288,9 @@ let run_simulate users servers dial_minutes af_hours calibrate metrics metrics_j
     if calibrate then begin
       (* measure this host's pure-OCaml primitives on the test curve (the
          production curve would take minutes); the record is dumped with the
-         snapshot so the calibration is not lost *)
-      let m = Costmodel.measure_local (Params.test ()) in
+         snapshot so the calibration is not lost. The domain pool calibrates
+         the cores field from its measured batch-unwrap speedup. *)
+      let m = Costmodel.measure_local ~pool:(Parallel.get ()) (Params.test ()) in
       Format.eprintf "%a@." Costmodel.pp_machine m;
       m
     end
@@ -393,7 +415,7 @@ let simulate_cmd =
     Term.(
       const run_simulate $ users $ servers $ dial_minutes $ af_hours $ calibrate $ metrics_arg
       $ metrics_json_arg $ trace_arg $ events_arg $ slo_arg $ trace_sample_arg $ faults
-      $ fault_seed)
+      $ fault_seed $ domains_arg)
 
 let () =
   let doc = "Alpenhorn: metadata-private bootstrapping (OCaml reproduction)" in

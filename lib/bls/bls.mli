@@ -27,6 +27,17 @@ val public_of_secret : Params.t -> secret -> public
 val sign : Params.t -> secret -> string -> signature
 val verify : Params.t -> public -> string -> signature -> bool
 
+val verify_batch : Params.t -> (public * string * signature) array -> bool
+(** Small-exponent batch verification of independent (key, message,
+    signature) triples: true iff every triple verifies, except with
+    probability ≤ 2⁻⁶³ (over DRBG scalars derived Fiat-Shamir style from
+    the whole batch, so no adversarial signature can depend on its own
+    scalar) where an invalid batch may pass. Shares a single final
+    exponentiation across the batch via {!Pairing.pair_product}, so a
+    batch of n costs roughly (n+1) Miller loops + 1 final exponentiation
+    instead of 2n pairings. Empty batches verify; singletons defer to
+    {!verify}. *)
+
 val aggregate : Params.t -> signature list -> signature
 (** Sum of signatures over the {e same} message. *)
 

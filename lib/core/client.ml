@@ -13,6 +13,8 @@ module Payload = Alpenhorn_mixnet.Payload
 module Mailbox = Alpenhorn_mixnet.Mailbox
 module Tel = Alpenhorn_telemetry.Telemetry
 module Trace = Alpenhorn_telemetry.Trace
+module Pairing = Alpenhorn_pairing.Pairing
+module Parallel = Alpenhorn_parallel.Parallel
 
 (* Aggregated over all client instances in the process — the evaluation
    (§8.1) cares about total scan attempts vs hits, not per-client splits. *)
@@ -224,6 +226,33 @@ let begin_addfriend_round t ~round ~now ~pkgs =
         pkg_sigs = Bls.aggregate t.params sigs;
       }
 
+(* Batched variant for a whole deployment: one Pkg.extract_batch call per
+   PKG covers every client, so the per-request verify/extract/sign work
+   fans out across the domain pool.  Per client the per-PKG results are
+   consumed in the same order, with the same first-error short-circuit, as
+   [begin_addfriend_round], so the healthy path is value-identical. *)
+let begin_addfriend_round_batch clients ~round ~now ~pkgs =
+  let arr = Array.of_list clients in
+  let requests = Array.map (fun c -> (c.email, sign_extraction_request c ~round)) arr in
+  let per_pkg = Array.map (fun pkg -> Pkg.extract_batch pkg ~now ~round requests) pkgs in
+  Array.to_list arr
+  |> List.mapi (fun i c ->
+         let rec collect j keys sigs =
+           if j = Array.length pkgs then
+             Ok
+               {
+                 af_round_num = round;
+                 identity_key = Some (Ibe.aggregate_identity c.params keys);
+                 pkg_sigs = Bls.aggregate c.params sigs;
+               }
+           else begin
+             match per_pkg.(j).(i) with
+             | Error e -> Error e
+             | Ok (key, att) -> collect (j + 1) (key :: keys) (att :: sigs)
+           end
+         in
+         (c, collect 0 [] []))
+
 (* DialingRound for a fresh keywheel entry: safely ahead of the wheel's
    clock so both clients can still reach it (Fig 5). *)
 let propose_dialing_round t = Keywheel.current_round t.wheel + 2
@@ -306,8 +335,15 @@ type af_event =
 let verify_request t ~round (r : Wire.friend_request) =
   let pk_bytes = Bls.public_bytes t.params r.sender_key in
   let att = Pkg.attestation_message ~email:r.sender_email ~pk_bytes ~round in
-  if not (Bls.verify_multi t.params t.pkg_pks att r.pkg_sigs) then Error `Bad_pkg_sigs
-  else if Bls.verify t.params r.sender_key (Wire.sender_sig_message r) r.sender_sig then Ok ()
+  let agg = Bls.aggregate_public t.params t.pkg_pks in
+  (* Batch the PKG multisignature and the sender signature under one shared
+     final exponentiation; only a failing request pays for the individual
+     re-verifies that name which signature was bad. *)
+  if
+    Bls.verify_batch t.params
+      [| (agg, att, r.pkg_sigs); (r.sender_key, Wire.sender_sig_message r, r.sender_sig) |]
+  then Ok ()
+  else if not (Bls.verify t.params agg att r.pkg_sigs) then Error `Bad_pkg_sigs
   else Error `Bad_sender_sig
 
 (* TOFU plus optional out-of-band expectation (§3.2). *)
@@ -366,9 +402,18 @@ let scan_addfriend_mailbox t af ciphertexts =
   let events =
     Tel.Span.with_ Tel.default "client.scan_addfriend" (fun () ->
         Tel.Counter.add m_scan_attempts (List.length ciphertexts);
+        (* Trial decryption is the expensive, randomness-free part of the
+           scan: fan it out across the domain pool. The hits are then
+           processed sequentially in mailbox order, because
+           [process_request] draws DH keys from the client's DRBG. *)
+        let pool = Parallel.get () in
+        if Parallel.size pool > 1 then Pairing.warmup t.params;
+        let plaintexts =
+          Parallel.map_list pool (fun ctxt -> Ibe.decrypt t.params identity_key ctxt) ciphertexts
+        in
         List.filter_map
-          (fun ctxt ->
-            match Ibe.decrypt t.params identity_key ctxt with
+          (fun plaintext ->
+            match plaintext with
             | None -> None (* someone else's request, or noise (§3.1 step 6) *)
             | Some plaintext ->
               Tel.Counter.inc m_scan_hits;
@@ -381,7 +426,7 @@ let scan_addfriend_mailbox t af ciphertexts =
                    | Error _ -> None (* forged or damaged: drop silently *)
                    | Ok () -> process_request t r
                  end))
-          ciphertexts)
+          plaintexts)
   in
   af.identity_key <- None;
   (* erase the round identity key (§4.4) *)

@@ -134,6 +134,18 @@ val begin_addfriend_round :
 (** Step 1: authenticate to every PKG, collect and aggregate identity keys
     and attestation signatures. *)
 
+val begin_addfriend_round_batch :
+  t list ->
+  round:int ->
+  now:int ->
+  pkgs:Pkg.t array ->
+  (t * (af_round, Pkg.error) result) list
+(** {!begin_addfriend_round} for a whole deployment at once: one
+    {!Pkg.extract_batch} per PKG covers every client, fanning the
+    verify/extract/sign work across the domain pool. Result order matches
+    the input client list; per client the outcome (including which error
+    is reported first) matches the sequential call. *)
+
 val addfriend_submission :
   t ->
   af_round ->

@@ -355,12 +355,11 @@ let run_addfriend_round t ?tracer ?participants () =
     let contexts, batch =
       Tel.Span.with_ Tel.default "client.submit" @@ fun () ->
       let contexts =
-        List.map
-          (fun c ->
-            match Client.begin_addfriend_round c ~round ~now:t.clock ~pkgs:t.pkgs with
-            | Error e -> failwith ("Deployment: extraction failed: " ^ Pkg.error_to_string e)
-            | Ok ctx -> (c, ctx))
-          clients
+        Client.begin_addfriend_round_batch clients ~round ~now:t.clock ~pkgs:t.pkgs
+        |> List.map (fun (c, result) ->
+               match result with
+               | Error e -> failwith ("Deployment: extraction failed: " ^ Pkg.error_to_string e)
+               | Ok ctx -> (c, ctx))
       in
       let batch =
         List.map

@@ -5,6 +5,7 @@ module Tel = Alpenhorn_telemetry.Telemetry
 module Trace = Alpenhorn_telemetry.Trace
 
 module Events = Alpenhorn_telemetry.Events
+module Parallel = Alpenhorn_parallel.Parallel
 
 type t = { params : Params.t; servers : Server.t array }
 
@@ -67,6 +68,10 @@ let run_round_traced t ~mode ~noise_mu ~laplace_b ~num_mailboxes ~noise_body ?tr
         raise (Aborted { server })
       in
       Array.iteri (fun i s -> if Server.is_down s then abort i) t.servers;
+      (* Force shared lazy tables before the per-hop unwraps fan out to the
+         domain pool (each hop's Server.process_traced parallelizes its
+         batch). *)
+      if Parallel.size (Parallel.get ()) > 1 then Params.force_tables t.params;
       let pks = Array.of_list (round_pks t) in
       let total_noise = ref 0 in
       let current = ref batch in

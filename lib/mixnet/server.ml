@@ -4,6 +4,7 @@ module Dh = Alpenhorn_dh.Dh
 module Tel = Alpenhorn_telemetry.Telemetry
 module Trace = Alpenhorn_telemetry.Trace
 module Events = Alpenhorn_telemetry.Events
+module Parallel = Alpenhorn_parallel.Parallel
 
 (* Per-server metric handles, resolved once at construction so the round
    hot path never touches the registry (DESIGN.md §7). *)
@@ -86,12 +87,16 @@ let process_traced t ~downstream_pks ~noise_mu ~laplace_b ~num_mailboxes ~noise_
   Tel.Counter.add t.tel.c_in (Array.length batch);
   Tel.Histogram.observe t.tel.h_batch (float_of_int (Array.length batch));
   let t0 = Tel.now Tel.default in
+  (* The unwrap of each onion is independent and draws no randomness, so it
+     fans out across the domain pool; order is preserved, and the
+     randomness-consuming phases below (noise, shuffle) stay sequential, so
+     every pool size produces the same output as the 1-domain path. *)
+  let pool = Parallel.get () in
+  if Parallel.size pool > 1 then Params.force_tables t.params;
+  let inners = Parallel.map pool (fun (onion, _) -> Onion.unwrap t.params ~sk onion) batch in
   let unwrapped =
-    Array.to_list batch
-    |> List.filter_map (fun (onion, ctx) ->
-           match Onion.unwrap t.params ~sk onion with
-           | None -> None
-           | Some inner -> Some (inner, ctx))
+    Array.to_list (Array.mapi (fun i (_, ctx) -> (inners.(i), ctx)) batch)
+    |> List.filter_map (fun (inner, ctx) -> Option.map (fun x -> (x, ctx)) inner)
   in
   let t_unwrapped = Tel.now Tel.default in
   Tel.Histogram.observe t.tel.h_unwrap (t_unwrapped -. t0);

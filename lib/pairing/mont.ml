@@ -27,7 +27,7 @@ type ctx = {
   one_raw : el; (* plain 1; mont-mul by it converts out of Montgomery form *)
   pm2 : Bigint.t; (* p − 2, the Fermat inversion exponent *)
   p_big : Bigint.t;
-  scratch : int array; (* n+2 limbs reused by [mul]; single-domain only *)
+  scratch : int array Domain.DLS.key; (* n+2 limbs reused by [mul], one per domain *)
   c_mul : Tel.Counter.t; (* kernel invocations ("pairing.mont_mul") *)
 }
 
@@ -65,7 +65,7 @@ let create p_big =
     one_raw;
     pm2 = Bigint.sub p_big Bigint.two;
     p_big;
-    scratch = Array.make (n + 2) 0;
+    scratch = Domain.DLS.new_key (fun () -> Array.make (n + 2) 0);
     c_mul = Tel.Counter.v Tel.default "pairing.mont_mul";
   }
 
@@ -112,7 +112,7 @@ let sub_p_inplace ctx (t : int array) =
    Inputs < p, output < p (one conditional final subtraction). *)
 let mul ctx a b =
   Tel.Counter.inc ctx.c_mul;
-  let n = ctx.n and p = ctx.p and p0inv = ctx.p0inv and t = ctx.scratch in
+  let n = ctx.n and p = ctx.p and p0inv = ctx.p0inv and t = Domain.DLS.get ctx.scratch in
   Array.fill t 0 (n + 2) 0;
   for i = 0 to n - 1 do
     let ai = Array.unsafe_get a i in

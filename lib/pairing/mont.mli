@@ -16,9 +16,11 @@
 
     Every [mul]/[sqr] bumps the ["pairing.mont_mul"] telemetry counter on
     the default registry, which is how `bench smoke` proves the fast path
-    is actually selected. Not constant-time (see {!Alpenhorn_crypto}),
-    and not thread-safe: the context's scratch buffer assumes a single
-    domain, like the rest of the codebase. *)
+    is actually selected. Not constant-time (see {!Alpenhorn_crypto}).
+    A shared [ctx] is safe to use from several domains at once: the CIOS
+    scratch buffer is domain-local ([Domain.DLS]), so the parallel batch
+    paths ({!Alpenhorn_parallel.Parallel}) can hammer one context without
+    corrupting each other's accumulators. *)
 
 module Bigint = Alpenhorn_bigint.Bigint
 

@@ -93,8 +93,14 @@ let pair_reference (params : Params.t) a b =
    The squared Z of the current point is carried alongside (X, Y, Z) so
    each step reuses it instead of re-squaring. *)
 
-let miller_fast (params : Params.t) a ~bx ~by =
-  let ctx = Field.mont_ctx params.fp in
+(* Per-pair Miller state: sets up one (a, b) pair and returns the
+   [dbl_step]/[add_step] closures that advance T and yield this step's
+   (line, vertical) factors. [miller_fast] drives one stepper through the
+   classic loop; [miller_product] drives many through a single shared
+   accumulator. [f2one] must be the caller's accumulator identity so the
+   degenerate-step fast path ([l != f2one]) stays a physical-equality
+   check. *)
+let miller_stepper (params : Params.t) ctx ~f2one a ~bx ~by =
   let module M = Mont in
   let module F2 = Mont.F2 in
   (* distorted second argument: Q = (ζ·bx, by) *)
@@ -110,9 +116,6 @@ let miller_fast (params : Params.t) a ~bx ~by =
   let px, py = match a with Curve.Affine { x; y } -> (M.of_bigint ctx x, M.of_bigint ctx y) | Curve.Inf -> assert false in
   (* current multiple of [a]: Jacobian with cached Z², infinity iff Z = 0 *)
   let tx = ref px and ty = ref py and tz = ref (M.one ctx) and tzz = ref (M.one ctx) in
-  let num = ref (F2.one ctx) and den = ref (F2.one ctx) in
-  let f2one = F2.one ctx in
-  let mul_line target l = if l != f2one then target := F2.mul ctx !target l in
   (* double T, returning (line, vertical) *)
   let dbl_step () =
     if M.is_zero !tz then (f2one, f2one)
@@ -197,6 +200,15 @@ let miller_fast (params : Params.t) a ~bx ~by =
       end
     end
   in
+  (dbl_step, add_step)
+
+let miller_fast (params : Params.t) a ~bx ~by =
+  let ctx = Field.mont_ctx params.fp in
+  let module F2 = Mont.F2 in
+  let f2one = F2.one ctx in
+  let dbl_step, add_step = miller_stepper params ctx ~f2one a ~bx ~by in
+  let num = ref f2one and den = ref f2one in
+  let mul_line target l = if l != f2one then target := F2.mul ctx !target l in
   let q = params.q in
   for i = Bigint.numbits q - 2 downto 0 do
     num := F2.sqr ctx !num;
@@ -221,44 +233,102 @@ let pair (params : Params.t) a b =
     let g = Mont.F2.pow ctx f params.tate_exp in
     Fp2.make (Mont.to_bigint ctx g.Mont.F2.re) (Mont.to_bigint ctx g.Mont.F2.im)
 
+(* ---- product of pairings ----
+
+   Batch verification (Bls.verify_batch) needs Π e(a_i, b_i): run all the
+   Miller loops in lockstep over one shared accumulator (the squarings are
+   paid once per iteration, not once per pair) and apply the expensive
+   final exponentiation to the product once. Valid because the final
+   powering is a homomorphism of F_p²*. *)
+
+let pair_product (params : Params.t) pairs =
+  let ctx = Field.mont_ctx params.fp in
+  let module F2 = Mont.F2 in
+  let f2one = F2.one ctx in
+  (* one stepper per pair, one shared accumulator: each loop iteration
+     squares num/den once and multiplies in every pair's line factors, so
+     the 2·numbits(q) accumulator squarings are paid once for the whole
+     product instead of once per pair. Valid because each individual loop
+     computes f_i ← f_i²·l_i, so the product F = Π f_i satisfies
+     F ← F²·Π l_i. *)
+  let steppers =
+    List.map
+      (fun (a, b) ->
+        match (a, b) with
+        | Curve.Inf, _ | _, Curve.Inf ->
+          invalid_arg "Pairing.pair_product: point at infinity"
+        | Curve.Affine _, Curve.Affine { x = bx; y = by } ->
+          miller_stepper params ctx ~f2one a ~bx ~by)
+      pairs
+  in
+  let num = ref f2one and den = ref f2one in
+  let mul_line target l = if l != f2one then target := F2.mul ctx !target l in
+  let q = params.q in
+  for i = Bigint.numbits q - 2 downto 0 do
+    num := F2.sqr ctx !num;
+    den := F2.sqr ctx !den;
+    List.iter
+      (fun (dbl_step, add_step) ->
+        let l, v = dbl_step () in
+        mul_line num l;
+        mul_line den v;
+        if Bigint.testbit q i then begin
+          let l, v = add_step () in
+          mul_line num l;
+          mul_line den v
+        end)
+      steppers
+  done;
+  let acc = F2.mul ctx !num (F2.inv ctx !den) in
+  let g = F2.pow ctx acc params.tate_exp in
+  Fp2.make (Mont.to_bigint ctx g.Mont.F2.re) (Mont.to_bigint ctx g.Mont.F2.im)
+
 (* ---- fixed-argument pairing cache ----
 
    IBE encryption pairs every request against the same PKG master key, and
    BLS verification pairs against long-lived signer keys and the fixed
    generator, so within a round the same (a, b) pairs recur constantly.
-   The memo lives in the parameter set (params are process-wide
-   singletons) and is bounded by FIFO eviction; correctness never depends
-   on it, it is purely a latency lever. *)
+   The memo is domain-local state inside the parameter set (params are
+   process-wide singletons): each domain of the parallel pool fills its own
+   cache, so lookups never contend and need no lock.  Bounded by FIFO
+   eviction; correctness never depends on it, it is purely a latency
+   lever. *)
 
 let pair_cache_capacity = 512
 
 let c_cache_hit = lazy (Tel.Counter.v Tel.default "pairing.cache_hits")
 let c_cache_miss = lazy (Tel.Counter.v Tel.default "pairing.cache_misses")
 
+let warmup (params : Params.t) =
+  ignore (Lazy.force c_cache_hit);
+  ignore (Lazy.force c_cache_miss);
+  Params.force_tables params
+
 let pair_cached (params : Params.t) a b =
   match (a, b) with
   | Curve.Inf, _ | _, Curve.Inf -> invalid_arg "Pairing.pair: point at infinity"
   | Curve.Affine _, Curve.Affine _ -> begin
     let fp = params.fp in
+    let cache = Domain.DLS.get params.pair_cache in
     let key = Curve.to_bytes fp a ^ Curve.to_bytes fp b in
-    match Hashtbl.find_opt params.pair_cache key with
+    match Hashtbl.find_opt cache.Params.pc_table key with
     | Some gt ->
       Tel.Counter.inc (Lazy.force c_cache_hit);
       gt
     | None ->
       Tel.Counter.inc (Lazy.force c_cache_miss);
       let gt = pair params a b in
-      if Hashtbl.length params.pair_cache >= pair_cache_capacity then begin
-        match Queue.take_opt params.pair_cache_fifo with
+      if Hashtbl.length cache.Params.pc_table >= pair_cache_capacity then begin
+        match Queue.take_opt cache.Params.pc_fifo with
         | Some oldest ->
-          Hashtbl.remove params.pair_cache oldest;
+          Hashtbl.remove cache.Params.pc_table oldest;
           Events.log Events.default ~severity:Debug
             ~detail:(Printf.sprintf "capacity %d" pair_cache_capacity)
             "pairing.cache_evict"
         | None -> ()
       end;
-      Hashtbl.replace params.pair_cache key gt;
-      Queue.push key params.pair_cache_fifo;
+      Hashtbl.replace cache.Params.pc_table key gt;
+      Queue.push key cache.Params.pc_fifo;
       gt
   end
 

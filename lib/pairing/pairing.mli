@@ -28,10 +28,28 @@ val pair_reference : Params.t -> Curve.point -> Curve.point -> Fp2.el
 
 val pair_cached : Params.t -> Curve.point -> Curve.point -> Fp2.el
 (** [pair] through the parameter set's bounded fixed-argument memo
-    (FIFO-evicted). Callers with recurring pairs — IBE encryption to a
-    master key, BLS verification against known signers — use this; hit
-    and miss counts land on the ["pairing.cache_hits"/"pairing.cache_misses"]
+    (FIFO-evicted, one cache per domain so parallel verifies never
+    contend). Callers with recurring pairs — IBE encryption to a master
+    key, BLS verification against known signers — use this; hit and miss
+    counts land on the ["pairing.cache_hits"/"pairing.cache_misses"]
     telemetry counters. *)
+
+val pair_product : Params.t -> (Curve.point * Curve.point) list -> Fp2.el
+(** [pair_product params \[(a1,b1); …; (an,bn)\]] is [Π ê(ai, bi)],
+    computed by driving all n Miller loops in lockstep over one shared
+    accumulator — the per-iteration accumulator squarings are paid once
+    for the whole product, not once per pair — followed by a single
+    shared final exponentiation (the final powering is multiplicative in
+    F_p²). n pairings therefore cost well under n standalone [pair]
+    calls. The workhorse of [Bls.verify_batch]. Returns [Fp2.one] on the
+    empty list.
+    @raise Invalid_argument if any point is the point at infinity. *)
+
+val warmup : Params.t -> unit
+(** Force lazily initialised shared state touched by pairing operations
+    (fixed-base tables, Montgomery context, cache-counter handles) so that
+    worker domains only ever read it. Called at the edge of every parallel
+    region; idempotent. *)
 
 val line_and_add :
   Field.t ->

@@ -1,6 +1,11 @@
 module Bigint = Alpenhorn_bigint.Bigint
 module Drbg = Alpenhorn_crypto.Drbg
 
+type pair_cache = {
+  pc_table : (string, Fp2.el) Hashtbl.t;
+  pc_fifo : string Queue.t;
+}
+
 type t = {
   fp : Field.t;
   q : Bigint.t;
@@ -9,11 +14,32 @@ type t = {
   g : Curve.point;
   tate_exp : Bigint.t;
   g_table : Curve.Fixed_base.table Lazy.t;
-  pair_cache : (string, Fp2.el) Hashtbl.t;
-  pair_cache_fifo : string Queue.t;
+  table_mu : Mutex.t;
+  pair_cache : pair_cache Domain.DLS.key;
 }
 
-let mul_g t k = Curve.Fixed_base.mul t.fp (Lazy.force t.g_table) k
+let fresh_pair_cache () = { pc_table = Hashtbl.create 64; pc_fifo = Queue.create () }
+
+(* Concurrent [Lazy.force] from two domains raises [Lazy.Undefined]; the
+   mutex (with an is_val fast path once forced) makes first-use safe even if
+   a caller forgot [force_tables] before going parallel. *)
+let force_g_table t =
+  if Lazy.is_val t.g_table then Lazy.force t.g_table
+  else begin
+    Mutex.lock t.table_mu;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.table_mu)
+      (fun () -> Lazy.force t.g_table)
+  end
+
+let mul_g t k = Curve.Fixed_base.mul t.fp (force_g_table t) k
+
+let force_tables t =
+  ignore (force_g_table t);
+  Mutex.lock t.table_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.table_mu)
+    (fun () -> ignore (Field.mont_ctx t.fp))
 
 let is_prime rng n =
   Bigint.is_probable_prime ~rounds:24 ~rand:(fun ~bits -> Drbg.bigint_bits rng bits) n
@@ -77,8 +103,8 @@ let build q l =
     g;
     tate_exp = Bigint.div (Bigint.sub (Bigint.mul p p) Bigint.one) q;
     g_table = lazy (Curve.Fixed_base.make fp g);
-    pair_cache = Hashtbl.create 64;
-    pair_cache_fifo = Queue.create ();
+    table_mu = Mutex.create ();
+    pair_cache = Domain.DLS.new_key fresh_pair_cache;
   }
 
 let generate rng ~qbits =

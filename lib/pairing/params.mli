@@ -12,6 +12,11 @@
 
 module Bigint = Alpenhorn_bigint.Bigint
 
+type pair_cache = {
+  pc_table : (string, Fp2.el) Hashtbl.t; (* fixed-argument pairing memo, see Pairing.pair_cached *)
+  pc_fifo : string Queue.t; (* insertion order, for bounded eviction *)
+}
+
 type t = {
   fp : Field.t;
   q : Bigint.t; (* prime order of G1 *)
@@ -20,13 +25,20 @@ type t = {
   g : Curve.point; (* generator of G1 *)
   tate_exp : Bigint.t; (* (p² − 1) / q *)
   g_table : Curve.Fixed_base.table Lazy.t; (* fixed-base windows for g *)
-  pair_cache : (string, Fp2.el) Hashtbl.t; (* fixed-argument pairing memo, see Pairing.pair_cached *)
-  pair_cache_fifo : string Queue.t; (* insertion order, for bounded eviction *)
+  table_mu : Mutex.t; (* guards first forcing of the lazy tables *)
+  pair_cache : pair_cache Domain.DLS.key; (* per-domain, so parallel verifies never contend *)
 }
 
 val mul_g : t -> Bigint.t -> Curve.point
 (** [k·g] through the precomputed fixed-base table (built lazily on first
     use) — every keygen / IBE ephemeral / blinding factor computes this. *)
+
+val force_tables : t -> unit
+(** Force the lazily built shared tables (fixed-base windows for [g] and
+    the field's Montgomery context) before handing the parameter set to
+    multiple domains.  Forcing the same lazy concurrently from two domains
+    raises; the parallel wiring (Server/Pkg/Client) calls this at the edge
+    of every parallel region. Idempotent and cheap once forced. *)
 
 val generate : Alpenhorn_crypto.Drbg.t -> qbits:int -> t
 (** Generate a fresh parameter set with a [qbits]-bit prime group order. *)

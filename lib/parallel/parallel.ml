@@ -1,0 +1,202 @@
+(* Fixed-size domain pool with deterministic-order chunked map.
+
+   Design notes:
+   - Workers block on a condition variable; the submitting domain also
+     drains the job queue, so a pool of size n applies n domains to each
+     dispatch (n-1 workers + the submitter).
+   - Chunks are contiguous slices of the input and each chunk writes only
+     its own slice of the result array, so output ordering never depends
+     on scheduling.
+   - A size-1 pool spawns no domains and [map] is literally [Array.map]:
+     the sequential path of record for the determinism tests. *)
+
+module Tel = Alpenhorn_telemetry.Telemetry
+
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  work_cv : Condition.t; (* signalled when jobs are enqueued / pool stops *)
+  done_cv : Condition.t; (* signalled when a dispatch's last chunk ends *)
+  jobs : (unit -> unit) Queue.t;
+  mutable live : bool;
+  mutable workers : unit Domain.t list;
+}
+
+(* Workers mark themselves so a nested [map] from inside [f] degrades to
+   the sequential path instead of deadlocking on the shared queue. *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let m_pool_size = Tel.Gauge.v Tel.default "parallel.pool_size"
+let m_jobs = Tel.Counter.v Tel.default "parallel.jobs"
+let m_items = Tel.Counter.v Tel.default "parallel.items"
+let m_chunk = Tel.Histogram.v Tel.default "parallel.chunk_size"
+let m_speedup = Tel.Gauge.v Tel.default "parallel.speedup"
+let m_occupancy = Tel.Gauge.v Tel.default "parallel.occupancy"
+
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  let rec next () =
+    if not t.live then (
+      Mutex.unlock t.mutex;
+      None)
+    else
+      match Queue.take_opt t.jobs with
+      | Some job ->
+          Mutex.unlock t.mutex;
+          Some job
+      | None ->
+          Condition.wait t.work_cv t.mutex;
+          next ()
+  in
+  match next () with
+  | None -> ()
+  | Some job ->
+      job ();
+      worker_loop t
+
+let create ~domains =
+  let size = max 1 (min 64 domains) in
+  let t =
+    {
+      size;
+      mutex = Mutex.create ();
+      work_cv = Condition.create ();
+      done_cv = Condition.create ();
+      jobs = Queue.create ();
+      live = true;
+      workers = [];
+    }
+  in
+  if size > 1 then
+    t.workers <-
+      List.init (size - 1) (fun _ ->
+          Domain.spawn (fun () ->
+              Domain.DLS.set in_worker true;
+              worker_loop t));
+  t
+
+let size t = t.size
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.live <- false;
+  Condition.broadcast t.work_cv;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+(* Contiguous partition of [0, n) into [nchunks] near-equal slices. *)
+let chunk_bounds ~n ~nchunks i =
+  let base = n / nchunks and rem = n mod nchunks in
+  let lo = (i * base) + min i rem in
+  let hi = lo + base + if i < rem then 1 else 0 in
+  (lo, hi)
+
+let map t f arr =
+  let n = Array.length arr in
+  if t.size = 1 || n < 2 || (not t.live) || Domain.DLS.get in_worker then
+    Array.map f arr
+  else begin
+    let nchunks = min n (t.size * 4) in
+    let results = Array.make n None in
+    let error = Atomic.make None in
+    let pending = Atomic.make nchunks in
+    (* Per-chunk busy time, written by whichever domain ran the chunk and
+       read by the submitter only after all chunks completed. *)
+    let busy = Array.make nchunks 0.0 in
+    let run_chunk ci =
+      let c0 = Unix.gettimeofday () in
+      let lo, hi = chunk_bounds ~n ~nchunks ci in
+      (try
+         for j = lo to hi - 1 do
+           results.(j) <- Some (f arr.(j))
+         done
+       with e -> ignore (Atomic.compare_and_set error None (Some e)));
+      busy.(ci) <- Unix.gettimeofday () -. c0;
+      if Atomic.fetch_and_add pending (-1) = 1 then begin
+        (* Last chunk: wake the submitter if it is parked in done_cv. *)
+        Mutex.lock t.mutex;
+        Condition.broadcast t.done_cv;
+        Mutex.unlock t.mutex
+      end
+    in
+    let t0 = Unix.gettimeofday () in
+    Mutex.lock t.mutex;
+    for ci = 1 to nchunks - 1 do
+      Queue.push (fun () -> run_chunk ci) t.jobs
+    done;
+    Condition.broadcast t.work_cv;
+    Mutex.unlock t.mutex;
+    run_chunk 0;
+    (* Help drain remaining chunks, then wait for in-flight ones. *)
+    let rec help () =
+      Mutex.lock t.mutex;
+      match Queue.take_opt t.jobs with
+      | Some job ->
+          Mutex.unlock t.mutex;
+          job ();
+          help ()
+      | None ->
+          while Atomic.get pending > 0 do
+            Condition.wait t.done_cv t.mutex
+          done;
+          Mutex.unlock t.mutex
+    in
+    help ();
+    let wall = Unix.gettimeofday () -. t0 in
+    Tel.Counter.inc m_jobs;
+    Tel.Counter.add m_items n;
+    for ci = 0 to nchunks - 1 do
+      let lo, hi = chunk_bounds ~n ~nchunks ci in
+      Tel.Histogram.observe m_chunk (float_of_int (hi - lo))
+    done;
+    if wall > 0.0 then begin
+      let total_busy = Array.fold_left ( +. ) 0.0 busy in
+      Tel.Gauge.set m_speedup (total_busy /. wall);
+      Tel.Gauge.set m_occupancy (total_busy /. (wall *. float_of_int t.size))
+    end;
+    (match Atomic.get error with Some e -> raise e | None -> ());
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map_list t f l = Array.to_list (map t f (Array.of_list l))
+
+let default_size_from_env () =
+  match Sys.getenv_opt "ALPENHORN_DOMAINS" with
+  | None -> 1
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> 1)
+
+let default : t option ref = ref None
+let () = at_exit (fun () -> match !default with Some p -> shutdown p | None -> ())
+
+let get () =
+  match !default with
+  | Some p -> p
+  | None ->
+      let p = create ~domains:(default_size_from_env ()) in
+      Tel.Gauge.set m_pool_size (float_of_int p.size);
+      default := Some p;
+      p
+
+let set_default_size n =
+  (match !default with Some p -> shutdown p | None -> ());
+  let p = create ~domains:n in
+  Tel.Gauge.set m_pool_size (float_of_int p.size);
+  default := Some p
+
+let with_default ~domains fn =
+  let old = !default in
+  let p = create ~domains in
+  Tel.Gauge.set m_pool_size (float_of_int p.size);
+  default := Some p;
+  Fun.protect
+    ~finally:(fun () ->
+      shutdown p;
+      default := old;
+      match old with
+      | Some prev -> Tel.Gauge.set m_pool_size (float_of_int prev.size)
+      | None -> ())
+    fn

@@ -120,3 +120,16 @@ val extract :
 (** Returns the identity private key for this round and the PKG's
     attestation signature. Refreshes the account's liveness timestamp
     (the 30-day lockout clock, §4.6). *)
+
+val extract_batch :
+  t ->
+  now:int ->
+  round:int ->
+  (string * Bls.signature) array ->
+  (Ibe.identity_key * Bls.signature, error) result array
+(** [extract] for a whole round's worth of [(email, signature)] requests at
+    once, fanned out across the domain pool (result order matches request
+    order). Semantically identical to mapping {!extract} — extraction draws
+    no randomness — but the per-request verify/extract/sign work runs on
+    every available domain. Batch duration lands on the
+    ["pkg.extract_batch_seconds"] histogram. *)

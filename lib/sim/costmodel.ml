@@ -47,7 +47,23 @@ let time_per_op f reps =
   done;
   (Unix.gettimeofday () -. t0) /. float_of_int reps
 
-let measure_local (params : Params.t) =
+(* Effective parallelism of the domain pool on this host, measured on the
+   actual batch-unwrap path rather than assumed from the pool size: on an
+   oversubscribed or single-core machine a 4-domain pool may deliver ~1x,
+   and the pipeline model should predict with that number. *)
+let measure_pool_speedup pool (params : Params.t) ~sk ~onion =
+  let n = Alpenhorn_parallel.Parallel.size pool in
+  if n <= 1 then 1.0
+  else begin
+    Params.force_tables params;
+    let batch = Array.make 64 onion in
+    let unwrap o = Onion.unwrap params ~sk o in
+    let seq = time_per_op (fun () -> Array.map unwrap batch) 3 in
+    let par = time_per_op (fun () -> Alpenhorn_parallel.Parallel.map pool unwrap batch) 3 in
+    if par <= 0.0 then 1.0 else Float.max 1.0 (Float.min (float_of_int n) (seq /. par))
+  end
+
+let measure_local ?pool (params : Params.t) =
   let rng = Drbg.create ~seed:"costmodel-measure" in
   let msk, mpk = Ibe.setup params rng in
   let d_id = Ibe.extract params msk "probe@local" in
@@ -66,9 +82,16 @@ let measure_local (params : Params.t) =
   let t_pairing =
     time_per_op (fun () -> Alpenhorn_pairing.Pairing.pair params d_id mpk) 5
   in
+  let cores =
+    match pool with
+    | None -> 1
+    | Some p ->
+      let speedup = measure_pool_speedup p params ~sk:ssk ~onion in
+      Stdlib.max 1 (int_of_float (Float.round speedup))
+  in
   {
-    cores = 1;
-    client_cores = 1;
+    cores;
+    client_cores = cores;
     t_unwrap;
     t_ibe_decrypt;
     t_ibe_encrypt;

@@ -41,8 +41,13 @@ type machine = {
 
 val paper_machine : machine
 
-val measure_local : Params.t -> machine
-(** Quick microbenchmark (a few hundred ms) of this host's primitives. *)
+val measure_local : ?pool:Alpenhorn_parallel.Parallel.t -> Params.t -> machine
+(** Quick microbenchmark (a few hundred ms) of this host's primitives.
+    With [?pool], [cores] (and [client_cores]) are calibrated from the
+    pool's {e measured} speedup on the batch onion-unwrap path — not
+    assumed from its size — so the pipeline model predicts with the
+    parallelism this host actually delivers. Without a pool, [cores] is
+    1. *)
 
 val pp_machine : Format.formatter -> machine -> unit
 (** Human-readable calibration record. *)

@@ -28,6 +28,7 @@ type event = {
 }
 
 type t = {
+  mu : Mutex.t; (* the ring is logged to from pool worker domains *)
   reg : Telemetry.registry;
   ring : event option array;
   mutable head : int; (* next write position *)
@@ -39,7 +40,7 @@ let default_capacity = 4096
 
 let create ?(capacity = default_capacity) reg =
   if capacity < 1 then invalid_arg "Events.create: capacity";
-  { reg; ring = Array.make capacity None; head = 0; len = 0; dropped = 0 }
+  { mu = Mutex.create (); reg; ring = Array.make capacity None; head = 0; len = 0; dropped = 0 }
 
 let default = create Telemetry.default
 
@@ -59,23 +60,32 @@ let log t ?(severity = Info) ?(labels = []) ?(detail = "") name =
       detail;
     }
   in
+  Mutex.lock t.mu;
   if t.len = cap then t.dropped <- t.dropped + 1 else t.len <- t.len + 1;
   t.ring.(t.head) <- Some ev;
-  t.head <- (t.head + 1) mod cap
+  t.head <- (t.head + 1) mod cap;
+  Mutex.unlock t.mu
 
 let to_list t =
+  Mutex.lock t.mu;
   let cap = Array.length t.ring in
   let start = (t.head - t.len + cap) mod cap in
-  List.init t.len (fun i ->
-      match t.ring.((start + i) mod cap) with
-      | Some ev -> ev
-      | None -> assert false (* len counts only written slots *))
+  let l =
+    List.init t.len (fun i ->
+        match t.ring.((start + i) mod cap) with
+        | Some ev -> ev
+        | None -> assert false (* len counts only written slots *))
+  in
+  Mutex.unlock t.mu;
+  l
 
 let clear t =
+  Mutex.lock t.mu;
   Array.fill t.ring 0 (Array.length t.ring) None;
   t.head <- 0;
   t.len <- 0;
-  t.dropped <- 0
+  t.dropped <- 0;
+  Mutex.unlock t.mu
 
 (* ---- JSON-lines exporter ---- *)
 

@@ -1,6 +1,9 @@
-(* Single-domain metrics registry. Hot paths (counter/gauge/histogram hits)
-   are plain mutable-field updates on handles resolved once at registration;
-   the registry hashtable is only consulted by [v] and [Snapshot.take]. *)
+(* Domain-safe metrics registry. Hot paths (counter/gauge hits) are lock-free
+   atomics on handles resolved once at registration; histograms take a
+   per-histogram mutex, and the registry hashtable/span list are guarded by a
+   registry mutex consulted by [v], [push_span] and [Snapshot.take]. Clock
+   swaps ([set_clock]/[with_clock]) remain single-domain operations: they are
+   only ever called from the orchestrating domain between parallel regions. *)
 
 type labels = (string * string) list
 
@@ -23,10 +26,11 @@ let bucket_of v =
 
 let bucket_lower i = Float.ldexp 1.0 (i - 32)
 
-type counter = { mutable c : int }
-type gauge = { mutable g : float }
+type counter = int Atomic.t
+type gauge = float Atomic.t
 
 type histogram = {
+  hmu : Mutex.t;
   mutable count : int;
   mutable sum : float;
   mutable min_v : float;
@@ -48,6 +52,7 @@ type span_rec = {
 let max_spans = 100_000
 
 type registry = {
+  mu : Mutex.t; (* guards metrics table, span list and depth *)
   mutable clock : unit -> float;
   mutable ckind : string;
   mutable epoch : float;
@@ -60,6 +65,7 @@ type registry = {
 
 let create ?(clock = wall_clock) ?(clock_kind = "wall") () =
   {
+    mu = Mutex.create ();
     clock;
     ckind = clock_kind;
     epoch = clock ();
@@ -69,6 +75,10 @@ let create ?(clock = wall_clock) ?(clock_kind = "wall") () =
     dropped_spans = 0;
     depth = 0;
   }
+
+let locked r f =
+  Mutex.lock r.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock r.mu) f
 
 let default = create ()
 let now r = r.clock ()
@@ -94,16 +104,18 @@ let normalize_labels labels = List.sort_uniq compare labels
 
 let find_or_register r ~labels name make select =
   let key = (name, normalize_labels labels) in
-  match Hashtbl.find_opt r.metrics key with
-  | Some m -> begin
-    match select m with
-    | Some h -> h
-    | None -> invalid_arg (Printf.sprintf "Telemetry: %S already registered with another kind" name)
-  end
-  | None ->
-    let m, h = make () in
-    Hashtbl.replace r.metrics key m;
-    h
+  locked r (fun () ->
+      match Hashtbl.find_opt r.metrics key with
+      | Some m -> begin
+        match select m with
+        | Some h -> h
+        | None ->
+          invalid_arg (Printf.sprintf "Telemetry: %S already registered with another kind" name)
+      end
+      | None ->
+        let m, h = make () in
+        Hashtbl.replace r.metrics key m;
+        h)
 
 module Counter = struct
   type t = counter
@@ -111,13 +123,13 @@ module Counter = struct
   let v r ?(labels = []) name =
     find_or_register r ~labels name
       (fun () ->
-        let c = { c = 0 } in
+        let c = Atomic.make 0 in
         (Counter c, c))
       (function Counter c -> Some c | _ -> None)
 
-  let inc t = t.c <- t.c + 1
-  let add t n = t.c <- t.c + n
-  let value t = t.c
+  let inc t = Atomic.incr t
+  let add t n = ignore (Atomic.fetch_and_add t n)
+  let value t = Atomic.get t
 end
 
 module Gauge = struct
@@ -126,12 +138,12 @@ module Gauge = struct
   let v r ?(labels = []) name =
     find_or_register r ~labels name
       (fun () ->
-        let g = { g = 0.0 } in
+        let g = Atomic.make 0.0 in
         (Gauge g, g))
       (function Gauge g -> Some g | _ -> None)
 
-  let set t x = t.g <- x
-  let value t = t.g
+  let set t x = Atomic.set t x
+  let value t = Atomic.get t
 end
 
 module Histogram = struct
@@ -145,18 +157,27 @@ module Histogram = struct
     find_or_register r ~labels name
       (fun () ->
         let h =
-          { count = 0; sum = 0.0; min_v = infinity; max_v = neg_infinity; counts = Array.make n_buckets 0 }
+          {
+            hmu = Mutex.create ();
+            count = 0;
+            sum = 0.0;
+            min_v = infinity;
+            max_v = neg_infinity;
+            counts = Array.make n_buckets 0;
+          }
         in
         (Histogram h, h))
       (function Histogram h -> Some h | _ -> None)
 
   let observe t x =
+    Mutex.lock t.hmu;
     t.count <- t.count + 1;
     t.sum <- t.sum +. x;
     if x < t.min_v then t.min_v <- x;
     if x > t.max_v then t.max_v <- x;
     let b = bucket_of x in
-    t.counts.(b) <- t.counts.(b) + 1
+    t.counts.(b) <- t.counts.(b) + 1;
+    Mutex.unlock t.hmu
 
   type snap = { count : int; sum : float; min_v : float; max_v : float; buckets : int array }
 
@@ -164,7 +185,12 @@ module Histogram = struct
     { count = 0; sum = 0.0; min_v = infinity; max_v = neg_infinity; buckets = Array.make n_buckets 0 }
 
   let snapshot (t : t) =
-    { count = t.count; sum = t.sum; min_v = t.min_v; max_v = t.max_v; buckets = Array.copy t.counts }
+    Mutex.lock t.hmu;
+    let s =
+      { count = t.count; sum = t.sum; min_v = t.min_v; max_v = t.max_v; buckets = Array.copy t.counts }
+    in
+    Mutex.unlock t.hmu;
+    s
 
   let merge a b =
     {
@@ -203,11 +229,12 @@ end
 (* ---- spans ---- *)
 
 let push_span r sp =
-  if r.n_spans >= max_spans then r.dropped_spans <- r.dropped_spans + 1
-  else begin
-    r.spans <- sp :: r.spans;
-    r.n_spans <- r.n_spans + 1
-  end
+  locked r (fun () ->
+      if r.n_spans >= max_spans then r.dropped_spans <- r.dropped_spans + 1
+      else begin
+        r.spans <- sp :: r.spans;
+        r.n_spans <- r.n_spans + 1
+      end)
 
 module Span = struct
   (* A span is timed entirely on the clock in effect when it opens: the
@@ -220,11 +247,15 @@ module Span = struct
     let clock0 = r.clock and kind0 = r.ckind in
     let t0 = clock0 () in
     let ts_rel = t0 -. r.epoch in
-    let depth = r.depth in
-    r.depth <- depth + 1;
+    let depth =
+      locked r (fun () ->
+          let d = r.depth in
+          r.depth <- d + 1;
+          d)
+    in
     Fun.protect
       ~finally:(fun () ->
-        r.depth <- depth;
+        locked r (fun () -> r.depth <- depth);
         push_span r
           {
             sp_name = name;
@@ -263,12 +294,13 @@ module Snapshot = struct
   }
 
   let take ?(reset = false) r =
+    Mutex.lock r.mu;
     let counters = ref [] and gauges = ref [] and hists = ref [] in
     Hashtbl.iter
       (fun (name, labels) m ->
         match m with
-        | Counter c -> counters := (name, labels, c.c) :: !counters
-        | Gauge g -> gauges := (name, labels, g.g) :: !gauges
+        | Counter c -> counters := (name, labels, Atomic.get c) :: !counters
+        | Gauge g -> gauges := (name, labels, Atomic.get g) :: !gauges
         | Histogram h -> hists := (name, labels, Histogram.snapshot h) :: !hists)
       r.metrics;
     let by_key (n1, l1, _) (n2, l2, _) = compare (n1, l1) (n2, l2) in
@@ -299,20 +331,23 @@ module Snapshot = struct
       Hashtbl.iter
         (fun _ m ->
           match m with
-          | Counter c -> c.c <- 0
-          | Gauge g -> g.g <- 0.0
+          | Counter c -> Atomic.set c 0
+          | Gauge g -> Atomic.set g 0.0
           | Histogram h ->
+            Mutex.lock h.hmu;
             h.count <- 0;
             h.sum <- 0.0;
             h.min_v <- infinity;
             h.max_v <- neg_infinity;
-            Array.fill h.counts 0 n_buckets 0)
+            Array.fill h.counts 0 n_buckets 0;
+            Mutex.unlock h.hmu)
         r.metrics;
       r.spans <- [];
       r.n_spans <- 0;
       r.dropped_spans <- 0;
       r.epoch <- r.clock ()
     end;
+    Mutex.unlock r.mu;
     snap
 
   let counter_sum t name =

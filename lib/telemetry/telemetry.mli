@@ -3,11 +3,16 @@
 
     Design goals (DESIGN.md §7):
 
-    - {b Cheap enough to leave on.} A counter hit is one mutable-field
-      increment on a pre-resolved handle — no hashing, no allocation, no
-      atomics (the registry assumes a single domain, like the rest of this
-      codebase). Registration ([Counter.v] etc.) is the only slow path and
-      happens once, at component construction.
+    - {b Cheap enough to leave on.} A counter hit is one lock-free atomic
+      increment on a pre-resolved handle — no hashing, no allocation.
+      Registration ([Counter.v] etc.) is the only slow path and happens
+      once, at component construction.
+    - {b Domain-safe.} Counters and gauges are atomics; histogram
+      observations take a per-histogram mutex and the registry table /
+      span list are mutex-guarded, so the parallel execution layer
+      (DESIGN.md §11) can record metrics from worker domains. Clock swaps
+      ({!set_clock} / {!with_clock}) are still reserved to the
+      orchestrating domain, between parallel regions.
     - {b Clock-agnostic.} Every registry carries a clock. The default is
       wall time ({!wall_clock}); the discrete-event simulator swaps in the
       {!Alpenhorn_sim.Des} clock via {!with_clock}, so a simulated round

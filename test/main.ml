@@ -21,6 +21,7 @@ let () =
       ("vuvuzela", Test_vuvuzela.suite);
       ("sim", Test_sim.suite);
       ("telemetry", Test_telemetry.suite);
+      ("parallel", Test_parallel.suite);
       ("trace", Test_trace.suite);
       ("slo", Test_slo.suite);
       ("bench_diff", Test_bench_diff.suite);

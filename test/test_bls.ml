@@ -68,6 +68,67 @@ let unit_tests =
            | None -> false));
   ]
 
+(* batch verification: the product-of-pairings fast path must agree with
+   one-by-one verification, and a single forgery anywhere must sink the
+   whole batch (small-exponent soundness). *)
+let batch_of pr n ~seed =
+  Array.init n (fun i ->
+      let sk, pk = Bls.keygen pr (Drbg.create ~seed:(Printf.sprintf "%s-%d" seed i)) in
+      let m = Printf.sprintf "batch message %d" i in
+      (pk, m, Bls.sign pr sk m))
+
+let batch_tests =
+  [
+    Alcotest.test_case "verify_batch agrees with verify on valid batches" `Quick (fun () ->
+        let pr = p () in
+        List.iter
+          (fun n ->
+            let items = batch_of pr n ~seed:"vb-ok" in
+            Alcotest.(check bool)
+              (Printf.sprintf "all-valid batch of %d" n)
+              true (Bls.verify_batch pr items))
+          [ 0; 1; 2; 5; 16 ]);
+    Alcotest.test_case "singleton batch equals plain verify" `Quick (fun () ->
+        let pr = p () in
+        let sk, pk = Bls.keygen pr (rng ()) in
+        let good = Bls.sign pr sk "solo" in
+        Alcotest.(check bool) "valid" true (Bls.verify_batch pr [| (pk, "solo", good) |]);
+        Alcotest.(check bool) "invalid" false (Bls.verify_batch pr [| (pk, "other", good) |]));
+    Alcotest.test_case "one forgery anywhere rejects the batch" `Quick (fun () ->
+        let pr = p () in
+        let n = 8 in
+        for bad = 0 to n - 1 do
+          let items = batch_of pr n ~seed:"vb-forge" in
+          let pk, m, _ = items.(bad) in
+          let forger, _ = Bls.keygen pr (Drbg.create ~seed:"vb-forger") in
+          items.(bad) <- (pk, m, Bls.sign pr forger m);
+          Alcotest.(check bool)
+            (Printf.sprintf "forgery at %d" bad)
+            false (Bls.verify_batch pr items)
+        done);
+    Alcotest.test_case "swapped signatures reject even though both verify alone" `Quick
+      (fun () ->
+        (* a_i mismatched to m_j: every individual signature is genuine, but
+           under the wrong message slot — the batch must notice *)
+        let pr = p () in
+        let items = batch_of pr 4 ~seed:"vb-swap" in
+        let pk0, m0, s0 = items.(0) and pk1, m1, s1 = items.(1) in
+        items.(0) <- (pk0, m0, s1);
+        items.(1) <- (pk1, m1, s0);
+        Alcotest.(check bool) "swapped" false (Bls.verify_batch pr items));
+    Alcotest.test_case "infinity key or signature rejects the batch" `Quick (fun () ->
+        let pr = p () in
+        let items = batch_of pr 3 ~seed:"vb-inf" in
+        let with_inf_sig = Array.copy items in
+        let pk, m, _ = with_inf_sig.(1) in
+        with_inf_sig.(1) <- (pk, m, Curve.Inf);
+        Alcotest.(check bool) "inf sig" false (Bls.verify_batch pr with_inf_sig);
+        let with_inf_pk = Array.copy items in
+        let _, m, s = with_inf_pk.(2) in
+        with_inf_pk.(2) <- (Curve.Inf, m, s);
+        Alcotest.(check bool) "inf key" false (Bls.verify_batch pr with_inf_pk));
+  ]
+
 let prop name ?(count = 15) arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
 
 let property_tests =
@@ -92,4 +153,4 @@ let property_tests =
         Curve.equal (Bls.aggregate pr sigs) (Bls.aggregate pr (List.rev sigs)));
   ]
 
-let suite = unit_tests @ property_tests
+let suite = unit_tests @ batch_tests @ property_tests
