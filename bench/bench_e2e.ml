@@ -18,15 +18,23 @@ open Bench_util
    All timing comes out of the telemetry registry (round spans and the
    per-server unwrap histogram), not ad-hoc stopwatches — the same
    snapshot a deployment would export. *)
+(* label-merged histogram of a snapshot (same fold the SLO engine uses) *)
+let hist_merged (snap : Tel.Snapshot.t) name =
+  List.fold_left
+    (fun acc (n, _, s) -> if n = name then Tel.Histogram.merge acc s else acc)
+    Tel.Histogram.empty snap.Tel.Snapshot.histograms
+
 let e2e () =
   header "End-to-end: real protocol, in-process deployment (test curve)";
   row
     [
       pad 10 "clients"; padl 14 "add-friend"; padl 14 "dialing"; padl 12 "unwrap";
-      padl 14 "scans (hits)"; padl 12 "mailbox";
+      padl 14 "scans (hits)"; padl 12 "mailbox"; padl 12 "alloc"; padl 10 "gc pause";
     ];
-  List.iter
-    (fun n ->
+  let machine = Buffer.create 256 in
+  Buffer.add_string machine "{";
+  List.iteri
+    (fun i n ->
       let config = { Config.test with Config.addfriend_noise_mu = 5.0; dialing_noise_mu = 10.0 } in
       let d = Deployment.create ~config ~seed:(Printf.sprintf "bench-e2e-%d" n) in
       let clients =
@@ -45,15 +53,23 @@ let e2e () =
           if i < actives then
             Client.add_friend c ~email:(Printf.sprintf "u%d@bench" ((i + (n / 2)) mod n)) ())
         clients;
+      (* flush pending GC deltas into the pre-reset window so the post-round
+         runtime counters cover exactly these two rounds *)
+      Alpenhorn_telemetry.Runtime_stats.sample (Alpenhorn_telemetry.Runtime_stats.get_default ());
       ignore (Tel.Snapshot.take ~reset:true Tel.default);
       let s = Deployment.run_addfriend_round d () in
       let _ = Deployment.run_dialing_round d () in
+      (* rounds already sampled at close (Deployment); the snapshot below
+         carries runtime.alloc.* counters and the gc pause histogram *)
       let snap = Tel.Snapshot.take ~reset:true Tel.default in
       let af = Tel.Snapshot.span_total snap "round.addfriend" in
       let dial = Tel.Snapshot.span_total snap "round.dialing" in
       let unwrap = Tel.Snapshot.hist_sum snap "mix.unwrap_seconds" in
       let scans = Tel.Snapshot.counter_sum snap "client.scan_attempts" in
       let hits = Tel.Snapshot.counter_sum snap "client.scan_hits" in
+      let alloc_words = Tel.Snapshot.counter_sum snap "runtime.alloc.minor_words" in
+      let pause = hist_merged snap "runtime.gc.pause_seconds" in
+      let pause_max = if pause.Tel.Histogram.count = 0 then 0.0 else pause.Tel.Histogram.max_v in
       row
         [
           pad 10 (string_of_int n);
@@ -62,10 +78,22 @@ let e2e () =
           padl 12 (Printf.sprintf "%.2f s" unwrap);
           padl 14 (Printf.sprintf "%d (%d)" scans hits);
           padl 12 (human_bytes (Array.fold_left ( + ) 0 s.Deployment.mailbox_bytes));
-        ])
+          padl 12 (Printf.sprintf "%s w" (si alloc_words));
+          padl 10 (human_time (pause_max *. 1e9));
+        ];
+      Buffer.add_string machine
+        (Printf.sprintf "%s\"e2e_%d_round_s\":%.3f,\"e2e_%d_alloc_mwords\":%.2f,\"e2e_%d_gc_pause_max_ms\":%.3f"
+           (if i = 0 then "" else ",")
+           n (af +. dial) n
+           (float_of_int alloc_words /. 1e6)
+           n (pause_max *. 1e3)))
     [ 10; 25; 50 ];
+  Buffer.add_string machine "}";
   print_endline "every round runs genuine IBE, onions, noise, shuffles and Bloom filters;";
-  print_endline "the phase breakdown is read from the telemetry snapshot, not stopwatches."
+  print_endline "the phase breakdown is read from the telemetry snapshot, not stopwatches;";
+  print_endline "alloc and gc pause come from the runtime sampler (lib/telemetry/runtime_stats).";
+  (* machine-readable line for transcribing into BENCH_e2e.json *)
+  print_endline (Buffer.contents machine)
 
 (* Ablation (§4.2): Anytrust-IBE vs naive onion-IBE as PKG count grows. *)
 let ablation_onion () =

@@ -25,6 +25,11 @@ module Tel = Alpenhorn_telemetry.Telemetry
 module Trace = Alpenhorn_telemetry.Trace
 module Events = Alpenhorn_telemetry.Events
 module Slo = Alpenhorn_telemetry.Slo
+module Expose = Alpenhorn_telemetry.Expose
+module Timeseries = Alpenhorn_telemetry.Timeseries
+module Runtime_stats = Alpenhorn_telemetry.Runtime_stats
+module Dashboard = Alpenhorn_telemetry.Dashboard
+module Listener = Alpenhorn_net.Listener
 module Parallel = Alpenhorn_parallel.Parallel
 
 open Cmdliner
@@ -145,6 +150,59 @@ let apply_domains domains =
   end;
   if domains > 0 then Parallel.set_default_size domains
 
+(* ---- live metrics endpoint (shared by session, simulate and the
+   standalone serve-metrics command) ---- *)
+
+let expose_handler () =
+  let cfg =
+    Expose.config ~series:Timeseries.default ~runtime:(Runtime_stats.get_default ()) ()
+  in
+  fun (req : Listener.request) ->
+    let r = Expose.handle cfg ~meth:req.meth ~path:req.path ~query:req.query () in
+    { Listener.status = r.Expose.status; content_type = r.Expose.content_type; body = r.Expose.body }
+
+(* Start the listener on its own domain so scrapes are served while the
+   orchestrating domain is busy inside a round. *)
+let start_metrics_server = function
+  | None -> None
+  | Some port ->
+    let l =
+      try Listener.create ~port (expose_handler ())
+      with Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "alpenhorn: cannot bind metrics port %d: %s\n" port (Unix.error_message e);
+        exit 2
+    in
+    Printf.eprintf "serving metrics on http://127.0.0.1:%d/metrics (also /metrics.json /slo /series)\n%!"
+      (Listener.port l);
+    let d = Domain.spawn (fun () -> Listener.run l) in
+    Some (l, d)
+
+let stop_metrics_server ~hold = function
+  | None -> ()
+  | Some (l, d) ->
+    if hold > 0.0 then begin
+      Printf.eprintf "holding metrics endpoint open for %g s (Ctrl-C to abort)\n%!" hold;
+      Unix.sleepf hold
+    end;
+    Listener.stop l;
+    Domain.join d
+
+let serve_metrics_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "serve-metrics" ] ~docv:"PORT"
+        ~doc:
+          "Serve live telemetry over HTTP on 127.0.0.1:$(docv) for the duration of the run \
+           (0 picks an ephemeral port, printed on stderr). Endpoints: /metrics (Prometheus \
+           text format 0.0.4), /metrics.json, /slo (200/503), /series?name=METRIC.")
+
+let serve_hold_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "serve-hold" ] ~docv:"SECONDS"
+        ~doc:"Keep the --serve-metrics endpoint up for $(docv) seconds after the run finishes.")
+
 let make_tracer trace_sample =
   Option.map
     (fun rate ->
@@ -158,8 +216,9 @@ let make_tracer trace_sample =
 (* ---- session ---- *)
 
 let run_session caller callee intent seed metrics metrics_json trace events slo trace_sample
-    domains =
+    domains serve_port serve_hold =
   apply_domains domains;
+  let server = start_metrics_server serve_port in
   let tracer = make_tracer trace_sample in
   let d = Deployment.create ~config:Config.test ~seed in
   let secret_caller = ref None and secret_callee = ref None in
@@ -211,6 +270,7 @@ let run_session caller callee intent seed metrics metrics_json trace events slo 
     dump_telemetry ~metrics ~json_path:metrics_json ~trace_path:trace ?tracer
       ~events_path:events ~slo_rules ()
   in
+  stop_metrics_server ~hold:serve_hold server;
   match (!secret_caller, !secret_callee) with
   | Some ka, Some kb when ka = kb ->
     Printf.printf "\nshared secret (paste into PANDA or your messenger):\n  %s\n" (Util.to_hex ka);
@@ -232,7 +292,8 @@ let session_cmd =
     (Cmd.info "session" ~doc:"Friend two users and place a call; print the shared secret.")
     Term.(
       const run_session $ caller $ callee $ intent $ seed $ metrics_arg $ metrics_json_arg
-      $ trace_arg $ events_arg $ slo_arg $ trace_sample_arg $ domains_arg)
+      $ trace_arg $ events_arg $ slo_arg $ trace_sample_arg $ domains_arg $ serve_metrics_arg
+      $ serve_hold_arg)
 
 (* ---- params ---- *)
 
@@ -261,8 +322,9 @@ let params_cmd =
 (* ---- simulate ---- *)
 
 let run_simulate users servers dial_minutes af_hours calibrate metrics metrics_json trace events
-    slo trace_sample faults_spec fault_seed domains =
+    slo trace_sample faults_spec fault_seed domains serve_port serve_hold record =
   apply_domains domains;
+  let server = start_metrics_server serve_port in
   let tracer = make_tracer trace_sample in
   let faults =
     match (faults_spec, fault_seed) with
@@ -324,7 +386,7 @@ let run_simulate users servers dial_minutes af_hours calibrate metrics metrics_j
     ((af_bw +. dial_bw) *. 86400.0 *. 30.0 /. 1e9);
   if
     metrics || metrics_json <> None || trace <> None || events <> None || slo || tracer <> None
-    || have_faults
+    || have_faults || record <> None
   then begin
     (* replay one add-friend + one dialing round on the DES engine so the
        snapshot and trace carry per-hop counters and simulated-clock spans;
@@ -370,8 +432,18 @@ let run_simulate users servers dial_minutes af_hours calibrate metrics metrics_j
       dump_telemetry ~metrics ~json_path:metrics_json ~trace_path:trace ~machine:m ?tracer
         ~events_path:events ~slo_rules ()
     in
-    if not healthy then exit 2
+    Option.iter
+      (fun path ->
+        write_file path (Alpenhorn_telemetry.Timeseries.to_jsonl Timeseries.default);
+        Printf.eprintf "time-series ring written to %s (%d samples, DES clock)\n%!" path
+          (Timeseries.length Timeseries.default))
+      record;
+    if not healthy then begin
+      stop_metrics_server ~hold:serve_hold server;
+      exit 2
+    end
   end;
+  stop_metrics_server ~hold:serve_hold server;
   0
 
 let simulate_cmd =
@@ -410,13 +482,221 @@ let simulate_cmd =
             "Generate a random fault schedule from $(docv) (same seed, same schedule, same \
              failure trace, forever). Mutually exclusive with --faults.")
   in
+  let record =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "record" ] ~docv:"FILE"
+          ~doc:"Write the DES-clock time-series ring of the replayed rounds to $(docv) as \
+                JSON-lines (replayable with $(b,top --replay)). Implies the round replay.")
+  in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Price a deployment with the paper-calibrated cost model.")
     Term.(
       const run_simulate $ users $ servers $ dial_minutes $ af_hours $ calibrate $ metrics_arg
       $ metrics_json_arg $ trace_arg $ events_arg $ slo_arg $ trace_sample_arg $ faults
-      $ fault_seed $ domains_arg)
+      $ fault_seed $ domains_arg $ serve_metrics_arg $ serve_hold_arg $ record)
+
+(* ---- serve-metrics: a live in-process deployment behind the endpoint ---- *)
+
+let run_serve_metrics port rounds period seed record domains =
+  apply_domains domains;
+  let server = start_metrics_server (Some port) in
+  (* a small real deployment looping rounds so the ring keeps filling:
+     every scrape of /metrics sees live counters moving *)
+  let d = Deployment.create ~config:Config.test ~seed in
+  let mk email = Deployment.new_client d ~email ~callbacks:Client.null_callbacks in
+  let a = mk "alice@example.org" and b = mk "bob@example.org" in
+  List.iter
+    (fun c ->
+      match Deployment.register d c with
+      | Ok () -> ()
+      | Error e -> failwith (Alpenhorn_pkg.Pkg.error_to_string e))
+    [ a; b ];
+  Client.add_friend a ~email:"bob@example.org" ();
+  let stop = ref false in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true));
+  let i = ref 0 in
+  while (not !stop) && (rounds = 0 || !i < rounds) do
+    incr i;
+    ignore (Deployment.run_addfriend_round d ());
+    ignore (Deployment.run_dialing_round d ());
+    Client.call a ~email:"bob@example.org" ~intent:(!i mod 4);
+    if period > 0.0 then Unix.sleepf period
+  done;
+  Printf.eprintf "ran %d round pairs\n%!" !i;
+  Option.iter
+    (fun path ->
+      write_file path (Timeseries.to_jsonl Timeseries.default);
+      Printf.eprintf "time-series ring written to %s (%d samples)\n%!" path
+        (Timeseries.length Timeseries.default))
+    record;
+  stop_metrics_server ~hold:0.0 server;
+  0
+
+let serve_metrics_cmd =
+  let port =
+    Arg.(value & opt int 9598 & info [ "port" ] ~docv:"PORT" ~doc:"Listen port (0 = ephemeral).")
+  in
+  let rounds =
+    Arg.(
+      value & opt int 0
+      & info [ "rounds" ] ~docv:"N" ~doc:"Stop after $(docv) round pairs (0 = until Ctrl-C).")
+  in
+  let period =
+    Arg.(
+      value & opt float 1.0
+      & info [ "period" ] ~docv:"SECONDS" ~doc:"Pause between round pairs (default 1).")
+  in
+  let seed = Arg.(value & opt string "serve" & info [ "seed" ] ~doc:"Deterministic seed.") in
+  let record =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "record" ] ~docv:"FILE"
+          ~doc:"On exit, write the time-series ring to $(docv) as JSON-lines (replayable with \
+                $(b,top --replay)).")
+  in
+  Cmd.v
+    (Cmd.info "serve-metrics"
+       ~doc:
+         "Run a continuous in-process deployment and serve its live telemetry over HTTP \
+          (/metrics, /metrics.json, /slo, /series).")
+    Term.(const run_serve_metrics $ port $ rounds $ period $ seed $ record $ domains_arg)
+
+(* ---- top: live dashboard over the ring ---- *)
+
+(* Rebuild a displayable SLO report from the /slo JSON body: only the
+   rule name, value and pass bit matter to the dashboard. *)
+let report_of_slo_json body =
+  match Tel.Json.parse body with
+  | None -> None
+  | Some j -> (
+    match (Tel.Json.member "healthy" j, Tel.Json.member "checks" j) with
+    | Some (Tel.Json.Bool healthy), Some (Tel.Json.Arr checks) ->
+      let parse c =
+        match Tel.Json.member "rule" c with
+        | Some (Tel.Json.Str name) ->
+          let pass = match Tel.Json.member "pass" c with Some (Tel.Json.Bool b) -> b | _ -> false in
+          let value =
+            match Tel.Json.member "value" c with Some (Tel.Json.Num v) -> Some v | _ -> None
+          in
+          Some
+            {
+              Slo.rule =
+                Slo.rule ~name ~description:"" (Slo.Counter "") Slo.Le infinity;
+              value;
+              pass;
+            }
+        | _ -> None
+      in
+      Some { Slo.healthy; checks = List.filter_map parse checks }
+    | _ -> None)
+
+let run_top port host interval frames window replay color =
+  let color = not color in
+  match replay with
+  | Some path ->
+    (* offline: render the recorded ring in one frame *)
+    let body =
+      try
+        let ic = open_in path in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+      with Sys_error e ->
+        Printf.eprintf "alpenhorn: cannot read %s: %s\n" path e;
+        exit 2
+    in
+    (match Timeseries.of_jsonl body with
+    | Error e ->
+      Printf.eprintf "alpenhorn: %s: %s\n" path e;
+      2
+    | Ok ring ->
+      let window = if window > 0.0 then window else Float.max 60.0 (Timeseries.span_seconds ring) in
+      print_string (Dashboard.render ~color ~window ~ring ~slo:None ());
+      0)
+  | None ->
+    let ring = Timeseries.create_detached ~capacity:720 () in
+    let window = if window > 0.0 then window else 60.0 in
+    let stop = ref false in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true));
+    let i = ref 0 and failures = ref 0 in
+    while (not !stop) && (frames = 0 || !i < frames) && !failures < 5 do
+      incr i;
+      (match Listener.fetch ~host ~port "/metrics.json" with
+      | Error e ->
+        incr failures;
+        Printf.eprintf "fetch http://%s:%d/metrics.json: %s\n%!" host port e
+      | Ok (status, _body) when status <> 200 ->
+        incr failures;
+        Printf.eprintf "fetch /metrics.json: HTTP %d\n%!" status
+      | Ok (_, body) -> (
+        failures := 0;
+        match Tel.Json.parse body with
+        | None -> Printf.eprintf "fetch /metrics.json: unparseable body\n%!"
+        | Some j -> (
+          match Timeseries.record_json ring ~ts:(Unix.gettimeofday ()) j with
+          | Ok () ->
+            let slo =
+              match Listener.fetch ~host ~port "/slo" with
+              | Ok (_, slo_body) -> report_of_slo_json slo_body
+              | Error _ -> None
+            in
+            print_string Dashboard.ansi_clear;
+            print_string (Dashboard.render ~color ~window ~ring ~slo ());
+            flush stdout
+          | Error e -> Printf.eprintf "ring: %s\n%!" e)));
+      if (frames = 0 || !i < frames) && not !stop then Unix.sleepf interval
+    done;
+    if !failures >= 5 then begin
+      Printf.eprintf "alpenhorn: giving up after %d consecutive fetch failures\n" !failures;
+      1
+    end
+    else 0
+
+let top_cmd =
+  let port =
+    Arg.(
+      value & opt int 9598
+      & info [ "port" ] ~docv:"PORT" ~doc:"Metrics endpoint port to poll (see serve-metrics).")
+  in
+  let host = Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc:"Endpoint host.") in
+  let interval =
+    Arg.(value & opt float 1.0 & info [ "interval" ] ~docv:"SECONDS" ~doc:"Poll interval.")
+  in
+  let frames =
+    Arg.(
+      value & opt int 0
+      & info [ "frames" ] ~docv:"N" ~doc:"Render $(docv) frames then exit (0 = until Ctrl-C).")
+  in
+  let window =
+    Arg.(
+      value & opt float 0.0
+      & info [ "window" ] ~docv:"SECONDS"
+          ~doc:"Query window for rates/quantiles/sparklines (0 = 60 s live, full span on replay).")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:"Render offline from a recorded JSON-lines ring (serve-metrics --record) instead \
+                of polling.")
+  in
+  let no_color = Arg.(value & flag & info [ "no-color" ] ~doc:"Disable ANSI colors.") in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live ANSI dashboard over a metrics endpoint: rounds/s, unwraps/s, GC pause and heap \
+          sparklines, SLO status. Also renders offline from a recorded ring.")
+    Term.(const run_top $ port $ host $ interval $ frames $ window $ replay $ no_color)
 
 let () =
   let doc = "Alpenhorn: metadata-private bootstrapping (OCaml reproduction)" in
-  exit (Cmd.eval' (Cmd.group (Cmd.info "alpenhorn" ~doc) [ session_cmd; params_cmd; simulate_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group
+          (Cmd.info "alpenhorn" ~doc)
+          [ session_cmd; params_cmd; simulate_cmd; serve_metrics_cmd; top_cmd ]))

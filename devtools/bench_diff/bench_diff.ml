@@ -9,7 +9,7 @@ module Json = Alpenhorn_telemetry.Telemetry.Json
 
 let usage () =
   prerr_endline
-    "usage: bench_diff [--threshold PCT] [--series PATH]... BEFORE.json AFTER.json";
+    "usage: bench_diff [--threshold PCT] [--series PATH]... [--carry PATH]... BEFORE.json AFTER.json";
   exit 2
 
 let read_file path =
@@ -33,7 +33,7 @@ let parse_file path =
     | Some doc -> doc)
 
 let () =
-  let threshold = ref 10.0 and series = ref [] and files = ref [] in
+  let threshold = ref 10.0 and series = ref [] and carry = ref [] and files = ref [] in
   let rec args = function
     | [] -> ()
     | "--threshold" :: v :: rest ->
@@ -44,7 +44,10 @@ let () =
     | "--series" :: v :: rest ->
       series := !series @ [ v ];
       args rest
-    | ("--threshold" | "--series") :: [] -> usage ()
+    | "--carry" :: v :: rest ->
+      carry := !carry @ [ v ];
+      args rest
+    | ("--threshold" | "--series" | "--carry") :: [] -> usage ()
     | arg :: _ when String.length arg > 2 && String.sub arg 0 2 = "--" -> usage ()
     | file :: rest ->
       files := !files @ [ file ];
@@ -55,7 +58,8 @@ let () =
   | [ before_path; after_path ] ->
     let before = parse_file before_path and after = parse_file after_path in
     let rows =
-      Alpenhorn_bench_diff.Diff_engine.diff ~threshold_pct:!threshold ~series:!series ~before ~after ()
+      Alpenhorn_bench_diff.Diff_engine.diff ~threshold_pct:!threshold ~series:!series
+        ~carry:!carry ~before ~after ()
     in
     if rows = [] then begin
       Printf.eprintf "bench_diff: no series matched\n";

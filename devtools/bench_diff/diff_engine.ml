@@ -6,6 +6,7 @@ type row = {
   after_v : float option;  (* None: series disappeared from the new snapshot *)
   pct : float;
   regressed : bool;
+  carried : bool;  (* matched a --carry prefix: reported, never regresses *)
 }
 
 let str_of = function
@@ -62,16 +63,24 @@ let keep filters series =
          String.length series >= lf && String.sub series 0 lf = f)
        filters
 
+(* like [keep] but an empty filter list matches nothing *)
+let keep_any filters series = filters <> [] && keep filters series
+
 (* Lower is better: a regression is [after] exceeding [before] by more
    than [threshold_pct] percent. A vanished series is reported but never
-   regresses; a series new in [after] is ignored (no baseline). *)
-let diff ~threshold_pct ?(series = []) ~before ~after () =
+   regresses; a series new in [after] is ignored (no baseline). Series
+   matching a [carry] prefix are ignored-but-carried: shown with their
+   percent change for trend visibility, never regressed — runtime/GC
+   numbers ride the BENCH files without arming the gate. *)
+let diff ~threshold_pct ?(series = []) ?(carry = []) ~before ~after () =
   let after_leaves = flatten after in
   flatten before
-  |> List.filter (fun (k, _) -> keep series k)
+  |> List.filter (fun (k, _) -> keep series k || keep_any carry k)
   |> List.map (fun (k, before_v) ->
+         let carried = keep_any carry k in
          match List.assoc_opt k after_leaves with
-         | None -> { series = k; before_v; after_v = None; pct = 0.0; regressed = false }
+         | None ->
+           { series = k; before_v; after_v = None; pct = 0.0; regressed = false; carried }
          | Some after_v ->
            let pct =
              if before_v = 0.0 then if after_v = 0.0 then 0.0 else infinity
@@ -82,7 +91,8 @@ let diff ~threshold_pct ?(series = []) ~before ~after () =
              before_v;
              after_v = Some after_v;
              pct;
-             regressed = pct > threshold_pct;
+             regressed = (not carried) && pct > threshold_pct;
+             carried;
            })
 
 let regressions rows = List.filter (fun r -> r.regressed) rows
@@ -94,6 +104,6 @@ let pp ppf rows =
       | None -> Format.fprintf ppf "gone %-48s %12g -> (missing)@." r.series r.before_v
       | Some a ->
         Format.fprintf ppf "%s %-48s %12g -> %-12g %+.1f%%@."
-          (if r.regressed then "FAIL" else "ok  ")
+          (if r.regressed then "FAIL" else if r.carried then "info" else "ok  ")
           r.series r.before_v a r.pct)
     rows

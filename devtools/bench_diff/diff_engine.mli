@@ -15,6 +15,9 @@ type row = {
   after_v : float option;  (** [None]: series disappeared from the new snapshot *)
   pct : float;  (** percent change, positive = slower *)
   regressed : bool;
+  carried : bool;
+      (** matched a [carry] prefix: reported for trend visibility, never
+          regresses (runtime/GC numbers in BENCH files) *)
 }
 
 val flatten : Alpenhorn_telemetry.Telemetry.Json.t -> (string * float) list
@@ -23,13 +26,17 @@ val flatten : Alpenhorn_telemetry.Telemetry.Json.t -> (string * float) list
 val diff :
   threshold_pct:float ->
   ?series:string list ->
+  ?carry:string list ->
   before:Alpenhorn_telemetry.Telemetry.Json.t ->
   after:Alpenhorn_telemetry.Telemetry.Json.t ->
   unit ->
   row list
 (** One row per numeric series of [before] (optionally restricted to
     those whose path starts with one of [series]). A series is regressed
-    when [after] exceeds [before] by more than [threshold_pct] percent. *)
+    when [after] exceeds [before] by more than [threshold_pct] percent.
+    Series whose path starts with a [carry] prefix are included in the
+    report even when outside [series], but can never regress — the
+    ignore-but-carry channel for runtime/GC data. *)
 
 val regressions : row list -> row list
 

@@ -9,6 +9,8 @@ module Bloom = Alpenhorn_bloom.Bloom
 module Tel = Alpenhorn_telemetry.Telemetry
 module Trace = Alpenhorn_telemetry.Trace
 module Events = Alpenhorn_telemetry.Events
+module Runtime_stats = Alpenhorn_telemetry.Runtime_stats
+module Timeseries = Alpenhorn_telemetry.Timeseries
 
 (* What the recovery loop needs to know about a fault schedule, as plain
    closures: lib/core cannot depend on lib/sim, so Alpenhorn_sim.Faults
@@ -317,6 +319,15 @@ let af_noise_body t ~mpk_agg ~mailbox:_ =
 
 let g_mailbox_load = Tel.Gauge.v Tel.default "mailbox.max_load"
 
+(* Live-telemetry round boundary: count the completed round, refresh the
+   runtime/GC readings, and append one sample to the process-wide
+   time-series ring so a live scrape (or [top]) sees history filling
+   while rounds run. *)
+let observe_round_close ~phase =
+  Tel.Counter.inc (Tel.Counter.v Tel.default ~labels:[ ("phase", phase) ] "round.completed");
+  Runtime_stats.sample (Runtime_stats.get_default ());
+  Timeseries.record Timeseries.default
+
 (* Record the modeled §6 mailbox-load ceiling input: the fullest mailbox of
    this round, in entries. *)
 let set_mailbox_load counts =
@@ -428,6 +439,7 @@ let run_addfriend_round t ?tracer ?participants () =
       ~cleanup:(fun () -> Array.iter (fun pkg -> Pkg.end_round pkg ~round) t.pkgs)
       body
   in
+  observe_round_close ~phase:"addfriend";
   { stats with af_attempts = attempts }
 
 (* ---- dialing round (§5) ---- *)
@@ -553,6 +565,7 @@ let run_dialing_round t ?tracer ?participants () =
     with_recovery t ~phase:"dialing" ~round ~chain:t.dial_chain ~clients ~cleanup:(fun () -> ())
       body
   in
+  observe_round_close ~phase:"dialing";
   { stats with dial_attempts = attempts; calls = recovered @ stats.calls }
 
 let archived_filter (t : t) ~round ~email =

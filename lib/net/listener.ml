@@ -1,0 +1,373 @@
+(* From-scratch select-loop HTTP listener. Single-domain loop, non-blocking
+   sockets, bounded buffering, self-pipe wakeup for cross-domain stop.
+   No opam dependencies: Unix + the in-tree telemetry registry. *)
+
+module Tel = Alpenhorn_telemetry.Telemetry
+
+type request = {
+  meth : string;
+  path : string;
+  query : (string * string) list;
+  headers : (string * string) list;
+}
+
+type response = { status : int; content_type : string; body : string }
+type handler = request -> response
+
+type conn = {
+  fd : Unix.file_descr;
+  inbuf : Buffer.t;
+  opened_at : float;
+  mutable out : string;
+  mutable out_off : int;
+  mutable writing : bool;
+}
+
+type t = {
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  handler : handler;
+  max_request_bytes : int;
+  conns : (Unix.file_descr, conn) Hashtbl.t; (* loop-domain only *)
+  stop_flag : bool Atomic.t;
+  pipe_rd : Unix.file_descr;
+  pipe_wr : Unix.file_descr;
+  mutable accepting : bool;
+  mutable closed : bool;
+  c_requests : int -> Tel.Counter.t;
+  h_request : Tel.Histogram.t;
+  g_open : Tel.Gauge.t;
+}
+
+let create ?(host = "127.0.0.1") ?(backlog = 16) ?(max_request_bytes = 8192) ~port handler =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  (try Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+   with e ->
+     Unix.close fd;
+     raise e);
+  Unix.listen fd backlog;
+  Unix.set_nonblock fd;
+  let bound_port =
+    match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | Unix.ADDR_UNIX _ -> port
+  in
+  let pipe_rd, pipe_wr = Unix.pipe () in
+  Unix.set_nonblock pipe_rd;
+  Unix.set_nonblock pipe_wr;
+  let reg = Tel.default in
+  {
+    listen_fd = fd;
+    bound_port;
+    handler;
+    max_request_bytes;
+    conns = Hashtbl.create 16;
+    stop_flag = Atomic.make false;
+    pipe_rd;
+    pipe_wr;
+    accepting = true;
+    closed = false;
+    c_requests =
+      (fun status ->
+        Tel.Counter.v reg ~labels:[ ("status", string_of_int status) ] "net.requests");
+    h_request = Tel.Histogram.v reg "net.request_seconds";
+    g_open = Tel.Gauge.v reg "net.open_connections";
+  }
+
+let port t = t.bound_port
+
+(* ---- request parsing ---- *)
+
+let url_decode s =
+  let n = String.length s in
+  let b = Buffer.create n in
+  let hex c =
+    match c with
+    | '0' .. '9' -> Some (Char.code c - Char.code '0')
+    | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+    | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+    | _ -> None
+  in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '+' -> Buffer.add_char b ' '
+    | '%' when !i + 2 < n -> (
+      match (hex s.[!i + 1], hex s.[!i + 2]) with
+      | Some h, Some l ->
+        Buffer.add_char b (Char.chr ((h * 16) + l));
+        i := !i + 2
+      | _ -> Buffer.add_char b '%')
+    | c -> Buffer.add_char b c);
+    incr i
+  done;
+  Buffer.contents b
+
+let parse_query qs =
+  String.split_on_char '&' qs
+  |> List.filter_map (fun kv ->
+         if kv = "" then None
+         else
+           match String.index_opt kv '=' with
+           | None -> Some (url_decode kv, "")
+           | Some i ->
+             Some
+               ( url_decode (String.sub kv 0 i),
+                 url_decode (String.sub kv (i + 1) (String.length kv - i - 1)) ))
+
+let parse_request head =
+  let lines = String.split_on_char '\n' head |> List.map (fun l -> String.trim l) in
+  match lines with
+  | [] -> None
+  | reqline :: rest -> (
+    match String.split_on_char ' ' reqline |> List.filter (fun s -> s <> "") with
+    | [ meth; target; version ]
+      when String.length version >= 5 && String.sub version 0 5 = "HTTP/" ->
+      let path_raw, query =
+        match String.index_opt target '?' with
+        | None -> (target, [])
+        | Some i ->
+          ( String.sub target 0 i,
+            parse_query (String.sub target (i + 1) (String.length target - i - 1)) )
+      in
+      let headers =
+        List.filter_map
+          (fun l ->
+            match String.index_opt l ':' with
+            | None -> None
+            | Some i ->
+              Some
+                ( String.lowercase_ascii (String.trim (String.sub l 0 i)),
+                  String.trim (String.sub l (i + 1) (String.length l - i - 1)) ))
+          rest
+      in
+      Some { meth = String.uppercase_ascii meth; path = url_decode path_raw; query; headers }
+    | _ -> None)
+
+let status_text = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 431 -> "Request Header Fields Too Large"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | _ -> "Status"
+
+let render_response (r : response) =
+  Printf.sprintf "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+    r.status (status_text r.status) r.content_type (String.length r.body) r.body
+
+(* ---- the loop ---- *)
+
+let close_conn t c =
+  Hashtbl.remove t.conns c.fd;
+  (try Unix.close c.fd with Unix.Unix_error _ -> ());
+  Tel.Gauge.set t.g_open (float_of_int (Hashtbl.length t.conns))
+
+let respond t c (resp : response) =
+  Tel.Counter.inc (t.c_requests resp.status);
+  c.out <- render_response resp;
+  c.out_off <- 0;
+  c.writing <- true
+
+(* the header terminator; tolerate bare-LF clients *)
+let head_complete buf =
+  let s = Buffer.contents buf in
+  let n = String.length s in
+  let rec find i =
+    if i + 1 >= n then None
+    else if i + 3 < n && String.sub s i 4 = "\r\n\r\n" then Some (String.sub s 0 i)
+    else if String.sub s i 2 = "\n\n" then Some (String.sub s 0 i)
+    else find (i + 1)
+  in
+  find 0
+
+let handle_readable t c =
+  let chunk = Bytes.create 4096 in
+  match Unix.read c.fd chunk 0 4096 with
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  | exception Unix.Unix_error (_, _, _) -> close_conn t c
+  | 0 -> close_conn t c (* peer closed before completing a request *)
+  | n -> (
+    Buffer.add_subbytes c.inbuf chunk 0 n;
+    if Buffer.length c.inbuf > t.max_request_bytes then
+      respond t c
+        {
+          status = 431;
+          content_type = "text/plain; charset=utf-8";
+          body = "request head too large\n";
+        }
+    else
+      match head_complete c.inbuf with
+      | None -> ()
+      | Some head -> (
+        match parse_request head with
+        | None ->
+          respond t c
+            { status = 400; content_type = "text/plain; charset=utf-8"; body = "bad request\n" }
+        | Some req ->
+          let resp =
+            try t.handler req
+            with _ ->
+              {
+                status = 500;
+                content_type = "text/plain; charset=utf-8";
+                body = "internal error\n";
+              }
+          in
+          respond t c resp))
+
+let handle_writable t c =
+  let remaining = String.length c.out - c.out_off in
+  match Unix.write_substring c.fd c.out c.out_off remaining with
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  | exception Unix.Unix_error (_, _, _) -> close_conn t c
+  | n ->
+    c.out_off <- c.out_off + n;
+    if c.out_off >= String.length c.out then begin
+      Tel.Histogram.observe t.h_request (Unix.gettimeofday () -. c.opened_at);
+      close_conn t c
+    end
+
+let accept_ready t =
+  let rec go n =
+    match Unix.accept t.listen_fd with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> n
+    | exception Unix.Unix_error (_, _, _) -> n
+    | fd, _ ->
+      Unix.set_nonblock fd;
+      Hashtbl.replace t.conns fd
+        {
+          fd;
+          inbuf = Buffer.create 256;
+          opened_at = Unix.gettimeofday ();
+          out = "";
+          out_off = 0;
+          writing = false;
+        };
+      Tel.Gauge.set t.g_open (float_of_int (Hashtbl.length t.conns));
+      go (n + 1)
+  in
+  go 0
+
+let drain_pipe t =
+  let buf = Bytes.create 64 in
+  let rec go () =
+    match Unix.read t.pipe_rd buf 0 64 with
+    | exception Unix.Unix_error _ -> ()
+    | 0 -> ()
+    | _ -> go ()
+  in
+  go ()
+
+let poll t ~timeout =
+  if t.closed then 0
+  else begin
+    if Atomic.get t.stop_flag then t.accepting <- false;
+    let readers = ref [ t.pipe_rd ] and writers = ref [] in
+    if t.accepting then readers := t.listen_fd :: !readers;
+    Hashtbl.iter
+      (fun fd c -> if c.writing then writers := fd :: !writers else readers := fd :: !readers)
+      t.conns;
+    match Unix.select !readers !writers [] timeout with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    | rs, ws, _ ->
+      let progressed = ref 0 in
+      List.iter
+        (fun fd ->
+          incr progressed;
+          if fd = t.pipe_rd then drain_pipe t
+          else if fd = t.listen_fd then ignore (accept_ready t)
+          else match Hashtbl.find_opt t.conns fd with Some c -> handle_readable t c | None -> ())
+        rs;
+      List.iter
+        (fun fd ->
+          incr progressed;
+          match Hashtbl.find_opt t.conns fd with Some c -> handle_writable t c | None -> ())
+        ws;
+      !progressed
+  end
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (try Unix.close t.pipe_rd with Unix.Unix_error _ -> ());
+    (try Unix.close t.pipe_wr with Unix.Unix_error _ -> ());
+    Hashtbl.iter (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) t.conns;
+    Hashtbl.reset t.conns;
+    Tel.Gauge.set t.g_open 0.0
+  end
+
+let stop t =
+  Atomic.set t.stop_flag true;
+  (* wake a parked select; harmless if nobody is parked *)
+  try ignore (Unix.write_substring t.pipe_wr "x" 0 1) with Unix.Unix_error _ -> ()
+
+let run t =
+  while not (Atomic.get t.stop_flag) do
+    ignore (poll t ~timeout:0.25)
+  done;
+  (* graceful drain: no new accepts (poll clears [accepting]); finish
+     in-flight responses, bounded *)
+  let deadline = Unix.gettimeofday () +. 2.0 in
+  while Hashtbl.length t.conns > 0 && Unix.gettimeofday () < deadline do
+    ignore (poll t ~timeout:0.05)
+  done;
+  close t
+
+(* ---- minimal blocking HTTP client ---- *)
+
+let fetch ?(timeout = 5.0) ?(host = "127.0.0.1") ~port path =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let finally () = try Unix.close fd with Unix.Unix_error _ -> () in
+  Fun.protect ~finally @@ fun () ->
+  match
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
+    Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout;
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+  with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Printf.sprintf "connect %s:%d: %s" host port (Unix.error_message e))
+  | () -> (
+    let req = Printf.sprintf "GET %s HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n" path host in
+    match Unix.write_substring fd req 0 (String.length req) with
+    | exception Unix.Unix_error (e, _, _) -> Error ("write: " ^ Unix.error_message e)
+    | _ -> (
+      let buf = Bytes.create 65536 in
+      let b = Buffer.create 4096 in
+      let rec read_all () =
+        match Unix.read fd buf 0 (Bytes.length buf) with
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          Error "read: timeout"
+        | exception Unix.Unix_error (e, _, _) -> Error ("read: " ^ Unix.error_message e)
+        | 0 -> Ok ()
+        | n ->
+          Buffer.add_subbytes b buf 0 n;
+          read_all ()
+      in
+      match read_all () with
+      | Error _ as e -> e
+      | Ok () -> (
+        let s = Buffer.contents b in
+        (* split head/body on the first blank line *)
+        let split =
+          let rec find i =
+            if i + 3 < String.length s && String.sub s i 4 = "\r\n\r\n" then Some (i, 4)
+            else if i + 1 < String.length s && String.sub s i 2 = "\n\n" then Some (i, 2)
+            else if i + 1 >= String.length s then None
+            else find (i + 1)
+          in
+          find 0
+        in
+        match split with
+        | None -> Error "malformed response: no header terminator"
+        | Some (i, sep) -> (
+          let head = String.sub s 0 i in
+          let body = String.sub s (i + sep) (String.length s - i - sep) in
+          match String.split_on_char ' ' (List.hd (String.split_on_char '\n' head)) with
+          | _http :: code :: _ -> (
+            match int_of_string_opt (String.trim code) with
+            | Some status -> Ok (status, body)
+            | None -> Error "malformed response: bad status code")
+          | _ -> Error "malformed response: bad status line"))))

@@ -26,6 +26,10 @@ type t = {
    the sequential path instead of deadlocking on the shared queue. *)
 let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
+(* Pool slot of the current domain: worker i occupies slot i+1, the
+   submitting domain slot 0. Feeds the per-domain utilization gauges. *)
+let worker_slot : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+
 let m_pool_size = Tel.Gauge.v Tel.default "parallel.pool_size"
 let m_jobs = Tel.Counter.v Tel.default "parallel.jobs"
 let m_items = Tel.Counter.v Tel.default "parallel.items"
@@ -69,9 +73,10 @@ let create ~domains =
   in
   if size > 1 then
     t.workers <-
-      List.init (size - 1) (fun _ ->
+      List.init (size - 1) (fun i ->
           Domain.spawn (fun () ->
               Domain.DLS.set in_worker true;
+              Domain.DLS.set worker_slot (i + 1);
               worker_loop t));
   t
 
@@ -102,8 +107,11 @@ let map t f arr =
     let error = Atomic.make None in
     let pending = Atomic.make nchunks in
     (* Per-chunk busy time, written by whichever domain ran the chunk and
-       read by the submitter only after all chunks completed. *)
+       read by the submitter only after all chunks completed. Each pool
+       slot also accumulates its own busy time (a slot runs its chunks
+       serially, so slot_busy.(s) is written by one domain only). *)
     let busy = Array.make nchunks 0.0 in
+    let slot_busy = Array.make t.size 0.0 in
     let run_chunk ci =
       let c0 = Unix.gettimeofday () in
       let lo, hi = chunk_bounds ~n ~nchunks ci in
@@ -112,7 +120,10 @@ let map t f arr =
            results.(j) <- Some (f arr.(j))
          done
        with e -> ignore (Atomic.compare_and_set error None (Some e)));
-      busy.(ci) <- Unix.gettimeofday () -. c0;
+      let dt = Unix.gettimeofday () -. c0 in
+      busy.(ci) <- dt;
+      let slot = Domain.DLS.get worker_slot in
+      slot_busy.(slot) <- slot_busy.(slot) +. dt;
       if Atomic.fetch_and_add pending (-1) = 1 then begin
         (* Last chunk: wake the submitter if it is parked in done_cv. *)
         Mutex.lock t.mutex;
@@ -153,7 +164,13 @@ let map t f arr =
     if wall > 0.0 then begin
       let total_busy = Array.fold_left ( +. ) 0.0 busy in
       Tel.Gauge.set m_speedup (total_busy /. wall);
-      Tel.Gauge.set m_occupancy (total_busy /. (wall *. float_of_int t.size))
+      Tel.Gauge.set m_occupancy (total_busy /. (wall *. float_of_int t.size));
+      for s = 0 to t.size - 1 do
+        let g =
+          Tel.Gauge.v Tel.default ~labels:[ ("domain", string_of_int s) ] "parallel.domain_util"
+        in
+        Tel.Gauge.set g (Float.min 1.0 (slot_busy.(s) /. wall))
+      done
     end;
     (match Atomic.get error with Some e -> raise e | None -> ());
     Array.map (function Some v -> v | None -> assert false) results

@@ -20,7 +20,11 @@
 
     Telemetry (multi-domain dispatches only): [parallel.pool_size] and
     [parallel.speedup]/[parallel.occupancy] gauges, [parallel.jobs] /
-    [parallel.items] counters, and a [parallel.chunk_size] histogram. *)
+    [parallel.items] counters, a [parallel.chunk_size] histogram, and a
+    per-slot [parallel.domain_util] gauge labeled [domain=0..size-1]
+    (slot 0 is the submitting domain) giving each domain's busy fraction
+    of the last dispatch — the [parallel.pool_util] SLO floor reads its
+    minimum. *)
 
 type t
 (** A fixed-size domain pool. *)

@@ -2,6 +2,8 @@ module Mailbox = Alpenhorn_mixnet.Mailbox
 module Tel = Alpenhorn_telemetry.Telemetry
 module Trace = Alpenhorn_telemetry.Trace
 module Events = Alpenhorn_telemetry.Events
+module Runtime_stats = Alpenhorn_telemetry.Runtime_stats
+module Timeseries = Alpenhorn_telemetry.Timeseries
 
 type timeline = {
   server_done : float array;
@@ -196,6 +198,7 @@ let replay (m : Costmodel.machine) ?tracer ?(events = Events.default) ?(faults =
                 if chunk_index = chunks - 1 then begin
                   publish := Des.now des;
                   Events.log events ~labels:[ ("phase", phase) ] "round.publish";
+                  Timeseries.record Timeseries.default;
                   let download = mailbox_bytes /. m.Costmodel.client_bandwidth in
                   Tel.Span.emit reg ~depth:1 ~name:"client.download" ~ts:!publish ~dur:download ();
                   Tel.Span.emit reg ~depth:1 ~name:"client.scan" ~ts:(!publish +. download)
@@ -222,6 +225,10 @@ let replay (m : Costmodel.machine) ?tracer ?(events = Events.default) ?(faults =
         ~labels:[ ("phase", phase) ]
         ~detail:(Printf.sprintf "%d messages in %d chunks over %d servers" batch0 chunks n_servers)
         "round.start";
+      (* time-series baseline at simulated t=0 (windowed queries need the
+         pair [start, close]); the ring detects a restarted sim clock and
+         starts a new epoch by itself *)
+      Timeseries.record Timeseries.default;
       Tel.Gauge.set g_mailbox_load mailbox_load;
       let per_chunk = float_of_int batch0 /. float_of_int chunks in
       let rec run_attempt attempt =
@@ -279,6 +286,11 @@ let replay (m : Costmodel.machine) ?tracer ?(events = Events.default) ?(faults =
       in
       run_attempt 1;
       Tel.Span.emit reg ~name:("round." ^ phase) ~ts:0.0 ~dur:!client_done ();
+      if !completed then
+        Tel.Counter.inc
+          (Tel.Counter.v reg ~labels:[ ("phase", phase) ] "round.completed");
+      Runtime_stats.sample (Runtime_stats.get_default ());
+      Timeseries.record Timeseries.default;
       Events.log events
         ~labels:[ ("phase", phase) ]
         ~detail:

@@ -1,0 +1,121 @@
+(* ANSI terminal dashboard over the time-series ring. Pure rendering:
+   ring in, string out — the CLI owns the poll loop and the terminal,
+   Alcotest renders frames without one. *)
+
+type palette = { dim : string; bold : string; good : string; bad : string; reset : string }
+
+let colors = { dim = "\x1b[2m"; bold = "\x1b[1m"; good = "\x1b[32m"; bad = "\x1b[31m"; reset = "\x1b[0m" }
+let plain = { dim = ""; bold = ""; good = ""; bad = ""; reset = "" }
+let ansi_clear = "\x1b[2J\x1b[H"
+
+(* eight block glyphs, lowest to highest; a constant series renders as
+   mid-height rather than a degenerate all-max row *)
+let blocks = [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84";
+                "\xe2\x96\x85"; "\xe2\x96\x86"; "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+let sparkline values =
+  match values with
+  | [] -> ""
+  | vs ->
+    let lo = List.fold_left Float.min infinity vs in
+    let hi = List.fold_left Float.max neg_infinity vs in
+    let b = Buffer.create (8 * List.length vs) in
+    List.iter
+      (fun v ->
+        let i =
+          if not (Float.is_finite v) then 0
+          else if hi <= lo then 3
+          else
+            let r = (v -. lo) /. (hi -. lo) in
+            Stdlib.min 7 (Stdlib.max 0 (int_of_float (r *. 7.99)))
+        in
+        Buffer.add_string b blocks.(i))
+      vs;
+    Buffer.contents b
+
+(* 1234567 -> "1.23M"; keeps small magnitudes plain *)
+let fmt_si v =
+  let a = Float.abs v in
+  if not (Float.is_finite v) then Printf.sprintf "%g" v
+  else if a >= 1e9 then Printf.sprintf "%.2fG" (v /. 1e9)
+  else if a >= 1e6 then Printf.sprintf "%.2fM" (v /. 1e6)
+  else if a >= 1e3 then Printf.sprintf "%.2fk" (v /. 1e3)
+  else if a >= 1.0 || a = 0.0 then Printf.sprintf "%.2f" v
+  else Printf.sprintf "%.4f" v
+
+let fmt_seconds v =
+  if v >= 1.0 then Printf.sprintf "%.2fs" v
+  else if v >= 1e-3 then Printf.sprintf "%.2fms" (v *. 1e3)
+  else if v > 0.0 then Printf.sprintf "%.0fus" (v *. 1e6)
+  else "0"
+
+let truncate_line width s =
+  (* byte-oriented truncation is fine for the ASCII gutter; sparklines sit
+     at end of line and are cut at a glyph boundary *)
+  if String.length s <= width then s
+  else
+    let cut = ref (Stdlib.min width (String.length s)) in
+    while !cut > 0 && Char.code s.[!cut - 1] land 0xC0 = 0x80 do decr cut done;
+    String.sub s 0 !cut
+
+let spark_of_points points = sparkline (List.map snd points)
+
+let render ?(width = 100) ?(color = true) ?(window = 60.0) ~ring ~slo () =
+  let p = if color then colors else plain in
+  let module Ts = Timeseries in
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (truncate_line width s); Buffer.add_char b '\n') fmt in
+  let now = match Ts.last_ts ring with Some t -> t | None -> 0.0 in
+  let w = window in
+  line "%salpenhorn top%s  t=%s  window=%gs  samples=%d/%d  span=%s" p.bold p.reset
+    (fmt_seconds (Float.abs now)) window (Ts.length ring) (Ts.capacity ring)
+    (fmt_seconds (Ts.span_seconds ring));
+  let counter_row label key =
+    let r = Ts.rate ring ~window:w key in
+    line "  %-12s %10s/s  %s%s%s" label (fmt_si r) p.dim
+      (spark_of_points (Ts.points ring ~window:w key))
+      p.reset
+  in
+  counter_row "rounds" "round.completed";
+  counter_row "unwraps" "mix.onions_in";
+  counter_row "noise" "mix.noise_generated";
+  counter_row "extractions" "pkg.extractions";
+  (match Ts.gauge_stats ring ~window:w "runtime.gc.max_pause_seconds" with
+  | None -> line "  %-12s %10s" "gc pause" "-"
+  | Some (_, max_v, last) ->
+    line "  %-12s %10s    %s%s%s  window max %s" "gc pause" (fmt_seconds last) p.dim
+      (spark_of_points (Ts.points ring ~window:w "runtime.gc.max_pause_seconds"))
+      p.reset (fmt_seconds max_v));
+  (match Ts.gauge_stats ring ~window:w "runtime.heap_words" with
+  | None -> line "  %-12s %10s" "heap" "-"
+  | Some (min_v, max_v, last) ->
+    line "  %-12s %9sw    %s%s%s  min %sw max %sw" "heap" (fmt_si last) p.dim
+      (spark_of_points (Ts.points ring ~window:w "runtime.heap_words"))
+      p.reset (fmt_si min_v) (fmt_si max_v));
+  (match Ts.gauge_stats ring ~window:w "parallel.domain_util" with
+  | None -> ()
+  | Some (_, _, last) ->
+    line "  %-12s %10s    %s%s%s" "pool util" (fmt_si last) p.dim
+      (spark_of_points (Ts.points ring ~window:w "parallel.domain_util"))
+      p.reset);
+  let p99 = Ts.quantile ring ~window:w "mix.unwrap_seconds" 0.99 in
+  if p99 > 0.0 then line "  %-12s %10s    p50 %s" "unwrap p99" (fmt_seconds p99)
+      (fmt_seconds (Ts.quantile ring ~window:w "mix.unwrap_seconds" 0.5));
+  (match slo with
+  | None -> line "  %-12s %10s" "slo" "-"
+  | Some (r : Slo.report) ->
+    let failed =
+      List.filter_map
+        (fun (c : Slo.check) -> if c.pass then None else Some c.rule.Slo.name)
+        r.Slo.checks
+    in
+    let skipped =
+      List.length (List.filter (fun (c : Slo.check) -> c.value = None) r.Slo.checks)
+    in
+    if r.Slo.healthy then
+      line "  %-12s %s%10s%s  (%d rules, %d skipped)" "slo" p.good "HEALTHY" p.reset
+        (List.length r.Slo.checks) skipped
+    else
+      line "  %-12s %s%10s%s  failing: %s" "slo" p.bad "UNHEALTHY" p.reset
+        (String.concat ", " failed));
+  Buffer.contents b

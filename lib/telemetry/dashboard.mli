@@ -1,0 +1,37 @@
+(** ANSI [top]-style dashboard rendering over the time-series ring
+    (DESIGN.md §12).
+
+    Pure rendering: {!render} turns a {!Timeseries.t} (live, remote-polled
+    or replayed from JSONL — the ring does not care) and an optional SLO
+    report into one textual frame — rounds/s, onion unwraps/s, GC-pause
+    and heap sparklines, pool utilization, and a colored SLO status line.
+    The CLI [top] subcommand owns the poll loop and prepends {!ansi_clear}
+    between frames; tests render frames with [~color:false] and assert on
+    the text. Works identically on wall-clock and DES-clock rings because
+    every query is expressed in ring time. *)
+
+val render :
+  ?width:int ->
+  ?color:bool ->
+  ?window:float ->
+  ring:Timeseries.t ->
+  slo:Slo.report option ->
+  unit ->
+  string
+(** One frame, newline-terminated lines truncated to [width] (default
+    100) bytes (sparkline glyphs are cut at UTF-8 boundaries).
+    [window] (default 60 ring-clock seconds) scopes every rate, quantile
+    and sparkline. [color:false] suppresses all escape sequences. *)
+
+val sparkline : float list -> string
+(** Normalized eight-level block glyphs (▁▂▃▄▅▆▇█); a constant series
+    renders mid-height, an empty one as [""]. Exposed for tests. *)
+
+val ansi_clear : string
+(** Clear screen + cursor home; what the CLI emits between frames. *)
+
+val fmt_si : float -> string
+(** [1234567.] → ["1.23M"] — axis labels for humans. *)
+
+val fmt_seconds : float -> string
+(** Seconds with an adaptive unit: ["1.50s"], ["2.30ms"], ["15us"]. *)

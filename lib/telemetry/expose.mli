@@ -1,0 +1,65 @@
+(** Metric exposition: Prometheus text format 0.0.4 and the JSON / SLO /
+    time-series endpoints, as pure request-to-response functions
+    (DESIGN.md §12).
+
+    This module renders; it owns no sockets. The from-scratch TCP
+    listener in [lib/net] (or a unit test, byte-for-byte identically)
+    routes [GET] requests into {!handle}:
+
+    - [/metrics] — the registry snapshot in Prometheus text exposition
+      format 0.0.4: dotted metric names sanitized to the
+      [[a-zA-Z_:][a-zA-Z0-9_:]*] alphabet, label values escaped
+      (backslash, double quote, newline), histograms emitted as
+      {e cumulative} [_bucket] series keyed by [le] over the shared
+      log-2 layout plus
+      [_sum]/[_count], and non-finite gauges spelled [+Inf]/[-Inf]/[NaN].
+    - [/metrics.json] — {!Telemetry.Snapshot.to_json} verbatim.
+    - [/slo] — the configured rules evaluated over a fresh snapshot;
+      HTTP 200 when healthy, 503 when not, body
+      {!Slo.report_to_json} either way — a load-balancer health check
+      and an alerting hook in one.
+    - [/series?name=METRIC&window=SECONDS] — windowed rate, p50/p99 and
+      sparkline points from the attached {!Timeseries} ring.
+
+    When a {!Runtime_stats} sampler is attached, each [/metrics] or
+    [/metrics.json] scrape samples it first, so GC and heap readings are
+    fresh even while the orchestrating domain is busy inside a round.
+    Everything else is read-only: scraping never resets metrics, and
+    enabling the endpoint changes no wire bytes anywhere in the
+    protocol. *)
+
+type response = { status : int; content_type : string; body : string }
+
+type config
+
+val config :
+  ?registry:Telemetry.registry ->
+  ?series:Timeseries.t ->
+  ?slo_rules:Slo.rule list ->
+  ?runtime:Runtime_stats.t ->
+  unit ->
+  config
+(** [registry] defaults to {!Telemetry.default}; [slo_rules] to
+    {!Slo.default_rules}[ ()]; [series] and [runtime] to absent
+    ([/series] then answers 404, and scrapes do not sample the
+    runtime). *)
+
+val handle :
+  config -> meth:string -> path:string -> query:(string * string) list -> unit -> response
+(** Route one request. Non-GET methods get 405; unknown paths 404;
+    malformed [/series] queries 400. Never raises. *)
+
+(** {1 Rendering internals (exposed for tests)} *)
+
+val sanitize_name : string -> string
+(** Map a dotted metric name into the Prometheus name alphabet
+    ([mix.onions_in] → [mix_onions_in]; a leading invalid byte gets a
+    [_] prefix). *)
+
+val escape_label_value : string -> string
+(** The three exposition-format escapes: backslash, double quote,
+    newline. *)
+
+val metrics_text : Telemetry.Snapshot.t -> string
+(** A full snapshot in text exposition format 0.0.4 (the [/metrics]
+    body). *)

@@ -6,6 +6,7 @@
 type source =
   | Counter of string
   | Gauge of string
+  | Gauge_min of string
   | Hist_mean of string
   | Hist_p99 of string
   | Hist_max of string
@@ -20,11 +21,15 @@ type rule = { name : string; description : string; source : source; cmp : cmp; t
 
 let rule ~name ~description source cmp threshold = { name; description; source; cmp; threshold }
 
-(* Gauges keep one value per label set; health cares about the worst. *)
-let gauge_max (snap : Telemetry.Snapshot.t) name =
+(* Gauges keep one value per label set; health cares about the worst.
+   For a ceiling the worst is the max, for a floor it is the min. *)
+let gauge_fold f (snap : Telemetry.Snapshot.t) name =
   List.fold_left
-    (fun acc (n, _, v) -> if n = name then Some (match acc with None -> v | Some a -> Float.max a v) else acc)
+    (fun acc (n, _, v) -> if n = name then Some (match acc with None -> v | Some a -> f a v) else acc)
     None snap.gauges
+
+let gauge_max snap name = gauge_fold Float.max snap name
+let gauge_min snap name = gauge_fold Float.min snap name
 
 let hist_merged (snap : Telemetry.Snapshot.t) name =
   let merged =
@@ -49,6 +54,7 @@ let counter_opt (snap : Telemetry.Snapshot.t) name =
 let rec value_of snap = function
   | Counter n -> counter_opt snap n
   | Gauge n -> gauge_max snap n
+  | Gauge_min n -> gauge_min snap n
   | Hist_mean n -> Option.map Telemetry.Histogram.mean (hist_merged snap n)
   | Hist_p99 n -> Option.map (fun s -> Telemetry.Histogram.quantile s 0.99) (hist_merged snap n)
   | Hist_max n -> Option.map (fun s -> s.Telemetry.Histogram.max_v) (hist_merged snap n)
@@ -84,7 +90,8 @@ let evaluate rules snap =
 
 let default_rules ?(addfriend_deadline = infinity) ?(dialing_deadline = infinity)
     ?(mailbox_ceiling = infinity) ?(cache_hit_floor = 0.0) ?(max_consecutive_aborts = infinity)
-    ?(recovery_ceiling = infinity) () =
+    ?(recovery_ceiling = infinity) ?(gc_pause_ceiling = infinity) ?(heap_words_ceiling = infinity)
+    ?(pool_util_floor = 0.0) () =
   [
     rule ~name:"round.addfriend.deadline"
       ~description:"slowest add-friend round finishes within its deadline"
@@ -109,6 +116,14 @@ let default_rules ?(addfriend_deadline = infinity) ?(dialing_deadline = infinity
       (Counter "mix.onions_dropped") Le 0.0;
     rule ~name:"sim.quiescent" ~description:"DES event queue drained at snapshot time"
       (Gauge "sim.des_pending") Le 0.0;
+    rule ~name:"runtime.gc_pause"
+      ~description:"longest observed GC pause stays under its ceiling"
+      (Gauge "runtime.gc.max_pause_seconds") Le gc_pause_ceiling;
+    rule ~name:"runtime.heap" ~description:"major heap stays under its word ceiling"
+      (Gauge "runtime.heap_words") Le heap_words_ceiling;
+    rule ~name:"parallel.pool_util"
+      ~description:"least-utilized pool domain keeps its utilization floor"
+      (Gauge_min "parallel.domain_util") Ge pool_util_floor;
   ]
 
 (* ---- rendering ---- *)

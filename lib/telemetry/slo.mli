@@ -17,6 +17,9 @@
 type source =
   | Counter of string  (** {!Telemetry.Snapshot.counter_sum} *)
   | Gauge of string  (** max over the gauge's label sets *)
+  | Gauge_min of string
+      (** min over the gauge's label sets — the worst reading when the
+          rule is a floor (e.g. per-domain pool utilization) *)
   | Hist_mean of string  (** mean of label-merged histogram *)
   | Hist_p99 of string
   | Hist_max of string
@@ -61,6 +64,9 @@ val default_rules :
   ?cache_hit_floor:float ->
   ?max_consecutive_aborts:float ->
   ?recovery_ceiling:float ->
+  ?gc_pause_ceiling:float ->
+  ?heap_words_ceiling:float ->
+  ?pool_util_floor:float ->
   unit ->
   rule list
 (** Alpenhorn's built-in rule set. Deadlines, the mailbox ceiling and the
@@ -70,7 +76,15 @@ val default_rules :
     [infinity] (never fail) and the cache floor to [0.0], so callers opt
     into exactly the bounds they can justify; the zero-drop and
     DES-quiescence rules are always armed. Fault metrics are absent in a
-    fault-free run, so those rules skip rather than pass vacuously. *)
+    fault-free run, so those rules skip rather than pass vacuously.
+
+    Runtime rules (DESIGN.md §12) follow the same pattern:
+    [gc_pause_ceiling] bounds the [runtime.gc.max_pause_seconds] gauge,
+    [heap_words_ceiling] the [runtime.heap_words] gauge (both default
+    [infinity]), and [pool_util_floor] (default [0.0]) puts a
+    {!Gauge_min} floor under [parallel.domain_util] — every rule skips
+    when no {!Runtime_stats} sampler or domain pool has populated its
+    metric. *)
 
 val pp_report : Format.formatter -> report -> unit
 (** One line per rule: [[ok|FAIL|skip] name value cmp threshold]. *)

@@ -293,15 +293,49 @@ module Snapshot = struct
     dropped_spans : int;
   }
 
+  (* Capture-and-reset must be a single atomic step per metric: the registry
+     mutex serializes [take] against registration, but counter/gauge hits from
+     worker domains never take that mutex. A read-then-zero reset would lose
+     every increment that lands between the two operations (regression-tested
+     with a 4-domain hammer in test_telemetry.ml), so the captured value IS
+     the exchanged value: [Atomic.exchange] for counters and gauges, and one
+     snapshot-and-zero critical section under the histogram's own lock.
+     Conservation law: sum of all reset snapshots + the live value afterwards
+     = everything ever recorded, no matter how many domains are writing. *)
+  let hist_take_reset (h : histogram) reset =
+    Mutex.lock h.hmu;
+    let s =
+      {
+        Histogram.count = h.count;
+        sum = h.sum;
+        min_v = h.min_v;
+        max_v = h.max_v;
+        buckets = Array.copy h.counts;
+      }
+    in
+    if reset then begin
+      h.count <- 0;
+      h.sum <- 0.0;
+      h.min_v <- infinity;
+      h.max_v <- neg_infinity;
+      Array.fill h.counts 0 n_buckets 0
+    end;
+    Mutex.unlock h.hmu;
+    s
+
   let take ?(reset = false) r =
     Mutex.lock r.mu;
     let counters = ref [] and gauges = ref [] and hists = ref [] in
     Hashtbl.iter
       (fun (name, labels) m ->
         match m with
-        | Counter c -> counters := (name, labels, Atomic.get c) :: !counters
-        | Gauge g -> gauges := (name, labels, Atomic.get g) :: !gauges
-        | Histogram h -> hists := (name, labels, Histogram.snapshot h) :: !hists)
+        | Counter c ->
+          let v = if reset then Atomic.exchange c 0 else Atomic.get c in
+          counters := (name, labels, v) :: !counters
+        | Gauge g ->
+          let v = if reset then Atomic.exchange g 0.0 else Atomic.get g in
+          gauges := (name, labels, v) :: !gauges
+        | Histogram h -> hists := (name, labels, hist_take_reset h reset) :: !hists)
       r.metrics;
     let by_key (n1, l1, _) (n2, l2, _) = compare (n1, l1) (n2, l2) in
     let spans =
@@ -328,20 +362,7 @@ module Snapshot = struct
       }
     in
     if reset then begin
-      Hashtbl.iter
-        (fun _ m ->
-          match m with
-          | Counter c -> Atomic.set c 0
-          | Gauge g -> Atomic.set g 0.0
-          | Histogram h ->
-            Mutex.lock h.hmu;
-            h.count <- 0;
-            h.sum <- 0.0;
-            h.min_v <- infinity;
-            h.max_v <- neg_infinity;
-            Array.fill h.counts 0 n_buckets 0;
-            Mutex.unlock h.hmu)
-        r.metrics;
+      (* metric values were already captured-and-zeroed above *)
       r.spans <- [];
       r.n_spans <- 0;
       r.dropped_spans <- 0;

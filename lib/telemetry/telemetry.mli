@@ -177,9 +177,22 @@ module Snapshot : sig
 
   val take : ?reset:bool -> registry -> t
   (** Capture every metric and span, deterministically ordered by
-      (name, labels). [~reset:true] zeroes counters and histograms,
-      clears spans and re-anchors the epoch — snapshot-and-reset is how
-      per-round deltas are produced. *)
+      (name, labels). [~reset:true] zeroes counters, gauges and
+      histograms, clears spans and re-anchors the epoch —
+      snapshot-and-reset is how per-round deltas are produced.
+
+      Reset is {e linearizable against concurrent writers}: each
+      counter/gauge is captured and zeroed in a single atomic exchange,
+      and each histogram in one critical section under its own lock, so
+      an increment racing the reset lands either in this snapshot or in
+      the live metric afterwards — never in both and never lost. Summing
+      a series of reset snapshots plus the final live values therefore
+      always equals everything ever recorded, regardless of how many
+      worker domains are writing (the conservation law the 4-domain
+      regression test in test_telemetry.ml asserts). Spans enqueued by
+      another domain while [take] runs are not similarly protected:
+      [push_span] takes the registry mutex, so a span lands wholly before
+      or wholly after the snapshot. *)
 
   val counter_sum : t -> string -> int
   (** Sum over all label sets of a counter name (0 if absent). *)

@@ -1,0 +1,427 @@
+(* Time-series ring: cumulative samples in, windowed deltas out.
+
+   Storage is cumulative (each sample is a full snapshot of the
+   registry); every query works on consecutive-pair deltas clamped at
+   zero. The clamp is what makes the ring indifferent to
+   [Snapshot.take ~reset:true] elsewhere in the process: a reset shows up
+   as one negative delta, which the clamp maps to "no increase in that
+   interval" — observations recorded after the reset are unaffected.
+
+   A mutex guards the ring: the orchestrating domain records at round
+   close while the metrics listener's domain answers /series queries. *)
+
+module Tel = Telemetry
+
+type sample = {
+  ts : float;
+  counters : (string * int) list; (* key = name or name{k=v,...}, sorted *)
+  gauges : (string * float) list;
+  hists : (string * Tel.Histogram.snap) list;
+}
+
+type t = {
+  reg : Tel.registry option;
+  cap : int;
+  ring : sample option array;
+  mutable head : int; (* next write slot *)
+  mutable len : int;
+  mu : Mutex.t;
+}
+
+let make ?(capacity = 720) reg =
+  if capacity < 2 then invalid_arg "Timeseries.create: capacity must be >= 2";
+  { reg; cap = capacity; ring = Array.make capacity None; head = 0; len = 0; mu = Mutex.create () }
+
+let create ?capacity reg = make ?capacity (Some reg)
+let create_detached ?capacity () = make ?capacity None
+let default = create Tel.default
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let capacity t = t.cap
+let length t = locked t (fun () -> t.len)
+
+let clear t =
+  locked t (fun () ->
+      Array.fill t.ring 0 t.cap None;
+      t.head <- 0;
+      t.len <- 0)
+
+(* oldest-first list of retained samples; call under the lock *)
+let samples_unlocked t =
+  let out = ref [] in
+  for i = t.len downto 1 do
+    let idx = (t.head - i + (t.cap * 2)) mod t.cap in
+    match t.ring.(idx) with Some s -> out := s :: !out | None -> ()
+  done;
+  List.rev !out
+
+let newest_unlocked t =
+  if t.len = 0 then None else t.ring.((t.head - 1 + t.cap) mod t.cap)
+
+let last_ts t = locked t (fun () -> Option.map (fun s -> s.ts) (newest_unlocked t))
+
+let span_seconds t =
+  locked t (fun () ->
+      match samples_unlocked t with
+      | [] | [ _ ] -> 0.0
+      | first :: _ as all -> (List.nth all (List.length all - 1)).ts -. first.ts)
+
+let key name labels =
+  match labels with
+  | [] -> name
+  | l ->
+    name ^ "{" ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) (List.sort compare l)) ^ "}"
+
+let sample_of_snapshot ~ts (snap : Tel.Snapshot.t) =
+  {
+    ts;
+    counters = List.map (fun (n, l, v) -> (key n l, v)) snap.Tel.Snapshot.counters;
+    gauges = List.map (fun (n, l, v) -> (key n l, v)) snap.Tel.Snapshot.gauges;
+    hists = List.map (fun (n, l, s) -> (key n l, s)) snap.Tel.Snapshot.histograms;
+  }
+
+let push_unlocked t s =
+  t.ring.(t.head) <- Some s;
+  t.head <- (t.head + 1) mod t.cap;
+  if t.len < t.cap then t.len <- t.len + 1
+
+let append t s =
+  locked t (fun () ->
+      (match newest_unlocked t with
+      | Some prev when s.ts < prev.ts ->
+        invalid_arg
+          (Printf.sprintf "Timeseries: sample at %g precedes newest sample at %g" s.ts prev.ts)
+      | _ -> ());
+      push_unlocked t s)
+
+let record t =
+  match t.reg with
+  | None -> invalid_arg "Timeseries.record: detached ring (use record_snapshot)"
+  | Some reg ->
+    let snap = Tel.Snapshot.take reg in
+    let s = sample_of_snapshot ~ts:(Tel.now reg) snap in
+    (* A backward clock reading means the registry clock was restarted (a
+       new DES run): begin a new ring epoch rather than rejecting the
+       sample — windows must not mix two simulated timelines. *)
+    locked t (fun () ->
+        (match newest_unlocked t with
+        | Some prev when s.ts < prev.ts ->
+          Array.fill t.ring 0 t.cap None;
+          t.head <- 0;
+          t.len <- 0
+        | _ -> ());
+        push_unlocked t s)
+
+let record_snapshot t ~ts snap = append t (sample_of_snapshot ~ts snap)
+
+(* ---- key matching: exact labeled key, or bare-name label merge ---- *)
+
+let matches ~q k =
+  q = k
+  || String.length k > String.length q
+     && String.sub k 0 (String.length q) = q
+     && k.[String.length q] = '{'
+     && not (String.contains q '{')
+
+let counter_at s q =
+  match List.filter (fun (k, _) -> matches ~q k) s.counters with
+  | [] -> None
+  | l -> Some (List.fold_left (fun acc (_, v) -> acc + v) 0 l)
+
+let gauge_at s q =
+  match List.filter (fun (k, _) -> matches ~q k) s.gauges with
+  | [] -> None
+  | l -> Some (List.fold_left (fun acc (_, v) -> Float.max acc v) neg_infinity l)
+
+let hist_at s q =
+  match List.filter (fun (k, _) -> matches ~q k) s.hists with
+  | [] -> None
+  | l -> Some (List.fold_left (fun acc (_, h) -> Tel.Histogram.merge acc h) Tel.Histogram.empty l)
+
+(* trailing-window slice, oldest first *)
+let window_samples t window =
+  locked t (fun () ->
+      let all = samples_unlocked t in
+      match (window, newest_unlocked t) with
+      | None, _ | _, None -> all
+      | Some w, Some newest -> List.filter (fun s -> s.ts >= newest.ts -. w) all)
+
+let names t =
+  let keys = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      List.iter (fun (k, _) -> Hashtbl.replace keys k ()) s.counters;
+      List.iter (fun (k, _) -> Hashtbl.replace keys k ()) s.gauges;
+      List.iter (fun (k, _) -> Hashtbl.replace keys k ()) s.hists)
+    (window_samples t None);
+  List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) keys [])
+
+let rec pairs = function
+  | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+  | [] | [ _ ] -> []
+
+let rate t ?window name =
+  match window_samples t window with
+  | [] | [ _ ] -> 0.0
+  | first :: _ as all ->
+    let last = List.nth all (List.length all - 1) in
+    let elapsed = last.ts -. first.ts in
+    if elapsed <= 0.0 then 0.0
+    else
+      let total =
+        List.fold_left
+          (fun acc (s1, s2) ->
+            match (counter_at s1 name, counter_at s2 name) with
+            | Some c1, Some c2 -> acc + max 0 (c2 - c1)
+            | None, Some c2 -> acc + max 0 c2 (* key appeared mid-window *)
+            | _ -> acc)
+          0 (pairs all)
+      in
+      float_of_int total /. elapsed
+
+let gauge_stats t ?window name =
+  List.fold_left
+    (fun acc s ->
+      match gauge_at s name with
+      | None -> acc
+      | Some v -> (
+        match acc with
+        | None -> Some (v, v, v)
+        | Some (mn, mx, _) -> Some (Float.min mn v, Float.max mx v, v)))
+    None (window_samples t window)
+
+(* increment of a histogram between two cumulative states: bucket-wise
+   clamped difference; min/max reconstructed at bucket resolution *)
+let hist_delta (h1 : Tel.Histogram.snap option) (h2 : Tel.Histogram.snap) =
+  let b1 = match h1 with Some h -> h.Tel.Histogram.buckets | None -> [||] in
+  let nb = Tel.Histogram.bucket_count in
+  let buckets =
+    Array.init nb (fun i ->
+        let prev = if i < Array.length b1 then b1.(i) else 0 in
+        max 0 (h2.Tel.Histogram.buckets.(i) - prev))
+  in
+  let count = Array.fold_left ( + ) 0 buckets in
+  if count = 0 then Tel.Histogram.empty
+  else begin
+    let sum =
+      let s1 = match h1 with Some h -> h.Tel.Histogram.sum | None -> 0.0 in
+      Float.max 0.0 (h2.Tel.Histogram.sum -. s1)
+    in
+    let lo = ref (nb - 1) and hi = ref 0 in
+    Array.iteri
+      (fun i c ->
+        if c > 0 then begin
+          if i < !lo then lo := i;
+          if i > !hi then hi := i
+        end)
+      buckets;
+    {
+      Tel.Histogram.count;
+      sum;
+      min_v = Tel.Histogram.bucket_lower !lo;
+      max_v = Tel.Histogram.bucket_lower (!hi + 1);
+      buckets;
+    }
+  end
+
+let hist_window t ?window name =
+  let all = window_samples t window in
+  List.fold_left
+    (fun acc (s1, s2) ->
+      match hist_at s2 name with
+      | None -> acc
+      | Some h2 -> Tel.Histogram.merge acc (hist_delta (hist_at s1 name) h2))
+    Tel.Histogram.empty (pairs all)
+
+let quantile t ?window name q = Tel.Histogram.quantile (hist_window t ?window name) q
+
+let points t ?window name =
+  let all = window_samples t window in
+  (* kind from the newest sample that carries the key *)
+  let kind =
+    List.fold_left
+      (fun acc s ->
+        if counter_at s name <> None then `Counter
+        else if gauge_at s name <> None then `Gauge
+        else if hist_at s name <> None then `Hist
+        else acc)
+      `Absent all
+  in
+  match kind with
+  | `Absent -> []
+  | `Gauge ->
+    List.filter_map (fun s -> Option.map (fun v -> (s.ts, v)) (gauge_at s name)) all
+  | `Counter ->
+    List.filter_map
+      (fun (s1, s2) ->
+        match (counter_at s1 name, counter_at s2 name) with
+        | Some c1, Some c2 ->
+          let dt = s2.ts -. s1.ts in
+          Some (s2.ts, if dt > 0.0 then float_of_int (max 0 (c2 - c1)) /. dt else 0.0)
+        | _ -> None)
+      (pairs all)
+  | `Hist ->
+    List.filter_map
+      (fun (s1, s2) ->
+        match hist_at s2 name with
+        | None -> None
+        | Some h2 ->
+          Some (s2.ts, float_of_int (hist_delta (hist_at s1 name) h2).Tel.Histogram.count))
+      (pairs all)
+
+(* ---- JSONL round-trip ---- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* %.17g round-trips every finite double: wall-clock epochs need more
+   than 9 significant digits to keep sub-second spacing between samples *)
+let json_float f = if Float.is_finite f then Printf.sprintf "%.17g" f else "0"
+
+let sample_to_json s =
+  let obj fields = "{" ^ String.concat "," fields ^ "}" in
+  let kv render (k, v) = Printf.sprintf "\"%s\":%s" (json_escape k) (render v) in
+  let hist (h : Tel.Histogram.snap) =
+    obj
+      [
+        Printf.sprintf "\"count\":%d" h.Tel.Histogram.count;
+        Printf.sprintf "\"sum\":%s" (json_float h.Tel.Histogram.sum);
+        Printf.sprintf "\"min\":%s"
+          (json_float (if h.Tel.Histogram.count = 0 then 0.0 else h.Tel.Histogram.min_v));
+        Printf.sprintf "\"max\":%s"
+          (json_float (if h.Tel.Histogram.count = 0 then 0.0 else h.Tel.Histogram.max_v));
+        Printf.sprintf "\"buckets\":[%s]"
+          (String.concat ","
+             (List.map string_of_int (Array.to_list h.Tel.Histogram.buckets)));
+      ]
+  in
+  obj
+    [
+      Printf.sprintf "\"ts\":%s" (json_float s.ts);
+      Printf.sprintf "\"counters\":%s" (obj (List.map (kv string_of_int) s.counters));
+      Printf.sprintf "\"gauges\":%s" (obj (List.map (kv json_float) s.gauges));
+      Printf.sprintf "\"hists\":%s" (obj (List.map (kv hist) s.hists));
+    ]
+
+let to_jsonl t =
+  let all = window_samples t None in
+  String.concat "" (List.map (fun s -> sample_to_json s ^ "\n") all)
+
+let hist_of_json j =
+  let num k = Option.bind (Tel.Json.member k j) Tel.Json.to_num in
+  match (num "count", num "sum") with
+  | Some count, Some sum ->
+    let buckets = Array.make Tel.Histogram.bucket_count 0 in
+    (match Tel.Json.member "buckets" j with
+    | Some (Tel.Json.Arr l) ->
+      List.iteri
+        (fun i v ->
+          if i < Tel.Histogram.bucket_count then
+            match Tel.Json.to_num v with Some f -> buckets.(i) <- int_of_float f | None -> ())
+        l
+    | _ -> ());
+    let count = int_of_float count in
+    Some
+      {
+        Tel.Histogram.count;
+        sum;
+        min_v =
+          (if count = 0 then infinity else Option.value ~default:0.0 (num "min"));
+        max_v =
+          (if count = 0 then neg_infinity else Option.value ~default:0.0 (num "max"));
+        buckets;
+      }
+  | _ -> None
+
+let sample_of_json ~ts j =
+  let fields section f =
+    match Tel.Json.member section j with
+    | Some (Tel.Json.Obj kvs) -> List.filter_map (fun (k, v) -> Option.map (fun v -> (k, v)) (f v)) kvs
+    | _ -> []
+  in
+  {
+    ts;
+    counters = fields "counters" (fun v -> Option.map int_of_float (Tel.Json.to_num v));
+    gauges = fields "gauges" Tel.Json.to_num;
+    hists = fields "hists" hist_of_json;
+  }
+
+let of_jsonl text =
+  let lines =
+    String.split_on_char '\n' text |> List.filter (fun l -> String.trim l <> "")
+  in
+  let rec go acc i = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+      match Tel.Json.parse line with
+      | None -> Error (Printf.sprintf "line %d: not valid JSON" i)
+      | Some j -> (
+        match Option.bind (Tel.Json.member "ts" j) Tel.Json.to_num with
+        | None -> Error (Printf.sprintf "line %d: missing ts" i)
+        | Some ts -> go (sample_of_json ~ts j :: acc) (i + 1) rest))
+  in
+  match go [] 1 lines with
+  | Error _ as e -> e
+  | Ok samples ->
+    let t = create_detached ~capacity:(max 2 (List.length samples)) () in
+    List.iter (fun s -> locked t (fun () -> push_unlocked t s)) samples;
+    Ok t
+
+(* ---- /metrics.json ingestion (remote-poll mode) ---- *)
+
+let record_json t ~ts j =
+  let doc = match Tel.Json.member "telemetry" j with Some inner -> inner | None -> j in
+  let entry v =
+    match (Tel.Json.member "name" v, Tel.Json.member "labels" v) with
+    | Some (Tel.Json.Str name), labels ->
+      let l =
+        match labels with
+        | Some (Tel.Json.Obj kvs) ->
+          List.filter_map
+            (fun (k, v) -> Option.map (fun s -> (k, s)) (Tel.Json.to_str v))
+            kvs
+        | _ -> []
+      in
+      Some (key name l, v)
+    | _ -> None
+  in
+  let section name =
+    match Tel.Json.member name doc with
+    | Some (Tel.Json.Arr l) -> List.filter_map entry l
+    | _ -> []
+  in
+  match Tel.Json.member "counters" doc with
+  | None -> Error "not a telemetry snapshot document (no counters member)"
+  | Some _ ->
+    let num_of v = Option.bind (Tel.Json.member "value" v) Tel.Json.to_num in
+    let s =
+      {
+        ts;
+        counters =
+          List.filter_map
+            (fun (k, v) -> Option.map (fun f -> (k, int_of_float f)) (num_of v))
+            (section "counters");
+        gauges = List.filter_map (fun (k, v) -> Option.map (fun f -> (k, f)) (num_of v))
+            (section "gauges");
+        hists =
+          List.filter_map (fun (k, v) -> Option.map (fun h -> (k, h)) (hist_of_json v))
+            (section "histograms");
+      }
+    in
+    append t s;
+    Ok ()

@@ -21,6 +21,7 @@ let () =
       ("vuvuzela", Test_vuvuzela.suite);
       ("sim", Test_sim.suite);
       ("telemetry", Test_telemetry.suite);
+      ("observe", Test_observe.suite);
       ("parallel", Test_parallel.suite);
       ("trace", Test_trace.suite);
       ("slo", Test_slo.suite);
