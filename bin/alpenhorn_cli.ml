@@ -30,6 +30,9 @@ module Timeseries = Alpenhorn_telemetry.Timeseries
 module Runtime_stats = Alpenhorn_telemetry.Runtime_stats
 module Dashboard = Alpenhorn_telemetry.Dashboard
 module Listener = Alpenhorn_net.Listener
+module Rpc = Alpenhorn_net.Rpc
+module Servers = Alpenhorn_remote.Servers
+module Net_deployment = Alpenhorn_remote.Net_deployment
 module Parallel = Alpenhorn_parallel.Parallel
 
 open Cmdliner
@@ -693,10 +696,322 @@ let top_cmd =
           sparklines, SLO status. Also renders offline from a recorded ring.")
     Term.(const run_top $ port $ host $ interval $ frames $ window $ replay $ no_color)
 
+(* ---- networked deployment: serve-pkg / serve-mixer / e2e-net ---- *)
+
+(* The servers a real deployment runs as separate processes (DESIGN.md
+   §13): each wraps its protocol logic (lib/remote) behind the framed RPC
+   loop and prints "READY port=N" once bound, so a parent that spawned it
+   with --port 0 can read the ephemeral port back. *)
+
+let ready_line port =
+  Printf.printf "READY port=%d\n%!" port
+
+let run_rpc_server handler port =
+  let server =
+    try Rpc.Server.create ~port handler
+    with Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "alpenhorn: cannot bind port %d: %s\n" port (Unix.error_message e);
+      exit 2
+  in
+  ready_line (Rpc.Server.port server);
+  Rpc.Server.run server;
+  0
+
+let seed_arg = Arg.(value & opt string "e2e" & info [ "seed" ] ~doc:"Deterministic deployment seed.")
+
+let port_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "port" ] ~docv:"PORT"
+        ~doc:"Listen port; 0 (the default) picks an ephemeral port, printed as READY port=N.")
+
+let run_serve_pkg seed port index =
+  run_rpc_server
+    (Servers.Pkg_server.handler (Servers.Pkg_server.create ~config:Config.test ~seed ~index))
+    port
+
+let serve_pkg_cmd =
+  let index =
+    Arg.(
+      value & opt int 0
+      & info [ "index" ] ~docv:"I"
+          ~doc:"PKG index: selects the pkg-$(docv) DRBG derivation from the deployment seed.")
+  in
+  Cmd.v
+    (Cmd.info "serve-pkg"
+       ~doc:
+         "Run one PKG as a framed-RPC server process (registration, commit/reveal key \
+          rotation, identity-key extraction).")
+    Term.(const run_serve_pkg $ seed_arg $ port_arg $ index)
+
+let run_serve_mixer seed port position =
+  run_rpc_server
+    (Servers.Mixer_server.handler
+       (Servers.Mixer_server.create ~config:Config.test ~seed ~position))
+    port
+
+let serve_mixer_cmd =
+  let position =
+    Arg.(
+      value & opt int 0
+      & info [ "position" ] ~docv:"I"
+          ~doc:
+            "Chain position: this process serves position $(docv) of both the add-friend \
+             and the dialing mixnet chains.")
+  in
+  Cmd.v
+    (Cmd.info "serve-mixer"
+       ~doc:
+         "Run one mixnet chain position as a framed-RPC server process (round key \
+          announcement, unwrap/noise/shuffle).")
+    Term.(const run_serve_mixer $ seed_arg $ port_arg $ position)
+
+(* -- e2e-net: multi-process deployment driver -- *)
+
+type child = { pid : int; out : in_channel; port : int }
+
+let spawn_child args =
+  let r, w = Unix.pipe () in
+  let argv = Array.of_list (Sys.executable_name :: args) in
+  let pid = Unix.create_process Sys.executable_name argv Unix.stdin w Unix.stderr in
+  Unix.close w;
+  let out = Unix.in_channel_of_descr r in
+  let rec wait_ready () =
+    match input_line out with
+    | line -> (
+      match Scanf.sscanf_opt line "READY port=%d" (fun p -> p) with
+      | Some port -> { pid; out; port }
+      | None -> wait_ready ())
+    | exception End_of_file ->
+      ignore (Unix.waitpid [] pid);
+      failwith (Printf.sprintf "child %s exited before READY" (String.concat " " args))
+  in
+  wait_ready ()
+
+let kill_child c =
+  (try Unix.kill c.pid Sys.sigkill with Unix.Unix_error _ -> ());
+  (try ignore (Unix.waitpid [] c.pid) with Unix.Unix_error _ -> ());
+  try close_in c.out with Sys_error _ -> ()
+
+let localhost port = { Net_deployment.host = "127.0.0.1"; port }
+
+let pp_af_event = function
+  | Client.Friend_request_accepted e -> "accepted:" ^ e
+  | Client.Friend_request_rejected e -> "rejected:" ^ e
+  | Client.Friend_request_key_mismatch e -> "key-mismatch:" ^ e
+  | Client.Friend_confirmed e -> "confirmed:" ^ e
+
+let pp_dial_event (Client.Incoming_call { peer; intent; session_key }) =
+  Printf.sprintf "call:%s:%d:%s" peer intent (Util.to_hex session_key)
+
+let pp_events evs = String.concat ", " (List.map (fun (who, ev) -> who ^ "<-" ^ ev) evs)
+
+(* The scripted scenario both deployments run: three clients, two
+   friendships, two calls. [af] and [dial] run one round of each phase and
+   return (attempts, canonical event strings). *)
+let run_scenario ~register ~new_client ~add_friend ~call ~af ~dial ~rounds =
+  let emails = [ "alice@example.org"; "bob@example.org"; "carol@example.org" ] in
+  let clients = List.map new_client emails in
+  List.iter register clients;
+  let a, b, c =
+    match clients with [ a; b; c ] -> (a, b, c) | _ -> assert false
+  in
+  add_friend a "bob@example.org";
+  add_friend c "bob@example.org";
+  let af_log = List.init rounds (fun _ -> af ()) in
+  call a "bob@example.org" 1;
+  call b "carol@example.org" 2;
+  let dial_log = List.init rounds (fun _ -> dial ()) in
+  (af_log, dial_log)
+
+let run_e2e_net seed rounds faults_spec skip_verify domains =
+  apply_domains domains;
+  if rounds < 2 then begin
+    prerr_endline "alpenhorn: e2e-net needs --rounds >= 2 (request round + confirmation round)";
+    exit 2
+  end;
+  let faults =
+    match faults_spec with
+    | "" | "none" -> Faults.empty
+    | spec -> (
+      match Faults.parse spec with
+      | Ok t -> t
+      | Error e ->
+        Printf.eprintf "alpenhorn: bad --faults spec: %s\n" e;
+        exit 2)
+  in
+  let config = { Config.test with Config.n_pkgs = 1 } in
+  let fault_view = if Faults.is_empty faults then None else Some (Faults.deployment_view faults) in
+  (* spawn the anytrust deployment: one PKG + chain_length mixers, each its
+     own OS process on an ephemeral localhost port *)
+  let spawn_pkg i =
+    spawn_child [ "serve-pkg"; "--seed"; seed; "--index"; string_of_int i; "--port"; "0" ]
+  in
+  let spawn_mixer i =
+    spawn_child [ "serve-mixer"; "--seed"; seed; "--position"; string_of_int i; "--port"; "0" ]
+  in
+  let pkg_children = Array.init config.Config.n_pkgs spawn_pkg in
+  let mixer_children = Array.init config.Config.chain_length (fun i -> ref (spawn_mixer i)) in
+  let all_children () =
+    Array.to_list (Array.map (fun c -> c) pkg_children)
+    @ Array.to_list (Array.map (fun r -> !r) mixer_children)
+  in
+  let cleanup () = List.iter kill_child (all_children ()) in
+  Printf.printf "spawned %d mixer + %d PKG server processes (ports %s)\n%!"
+    (Array.length mixer_children) (Array.length pkg_children)
+    (String.concat ", "
+       (List.map (fun c -> string_of_int c.port) (all_children ())));
+  let finally f = Fun.protect ~finally:cleanup f in
+  finally @@ fun () ->
+  let mixers =
+    Array.mapi
+      (fun i r ->
+        {
+          Net_deployment.ep = localhost !r.port;
+          kill = (fun () -> kill_child !r);
+          restart =
+            (fun () ->
+              r := spawn_mixer i;
+              Printf.printf "mixer %d respawned (pid %d, port %d)\n%!" i !r.pid !r.port;
+              localhost !r.port);
+        })
+      mixer_children
+  in
+  let nd =
+    Net_deployment.create ~config ~seed
+      ~pkgs:(Array.map (fun c -> localhost c.port) pkg_children)
+      ~mixers ()
+  in
+  Net_deployment.set_faults nd fault_view;
+  if fault_view <> None then
+    Printf.printf "fault schedule: %s\n%!" (Faults.to_string faults);
+  let net_af, net_dial =
+    run_scenario ~rounds
+      ~new_client:(fun email -> Net_deployment.new_client nd ~email ~callbacks:Client.null_callbacks)
+      ~register:(fun cl ->
+        match Net_deployment.register nd cl with
+        | Ok () -> ()
+        | Error e -> failwith (Alpenhorn_pkg.Pkg.error_to_string e))
+      ~add_friend:(fun cl email -> Client.add_friend cl ~email ())
+      ~call:(fun cl email intent -> Client.call cl ~email ~intent)
+      ~af:(fun () ->
+        let s = Net_deployment.run_addfriend_round nd () in
+        Printf.printf "af round %d over TCP: %d in, %d noise, attempts %d — %s\n%!"
+          s.Deployment.af_round s.Deployment.requests_in s.Deployment.noise_added
+          s.Deployment.af_attempts
+          (pp_events (List.map (fun (w, e) -> (w, pp_af_event e)) s.Deployment.events));
+        ( s.Deployment.af_attempts,
+          List.map (fun (w, e) -> (w, pp_af_event e)) s.Deployment.events ))
+      ~dial:(fun () ->
+        let s = Net_deployment.run_dialing_round nd () in
+        Printf.printf "dial round %d over TCP: %d in, %d noise, attempts %d — %s\n%!"
+          s.Deployment.dial_round s.Deployment.tokens_in s.Deployment.dial_noise_added
+          s.Deployment.dial_attempts
+          (pp_events (List.map (fun (w, e) -> (w, pp_dial_event e)) s.Deployment.calls));
+        ( s.Deployment.dial_attempts,
+          List.map (fun (w, e) -> (w, pp_dial_event e)) s.Deployment.calls ))
+  in
+  Net_deployment.close nd;
+  let net_events = net_af @ net_dial in
+  if List.for_all (fun (_, evs) -> evs = []) net_events then begin
+    prerr_endline "e2e-net: FAIL — no protocol events were delivered";
+    1
+  end
+  else if skip_verify then begin
+    Printf.printf "e2e-net: PASS (%d add-friend + %d dialing rounds over TCP; verification \
+                   against the in-process deployment skipped)\n"
+      rounds rounds;
+    0
+  end
+  else begin
+    (* replay the identical scenario on the in-process deployment — same
+       seed, same fault schedule (client RNG consumption on aborted
+       attempts must match) — and demand identical protocol results *)
+    let d = Deployment.create ~config ~seed in
+    Deployment.set_faults d fault_view;
+    let ref_af, ref_dial =
+      run_scenario ~rounds
+        ~new_client:(fun email -> Deployment.new_client d ~email ~callbacks:Client.null_callbacks)
+        ~register:(fun cl ->
+          match Deployment.register d cl with
+          | Ok () -> ()
+          | Error e -> failwith (Alpenhorn_pkg.Pkg.error_to_string e))
+        ~add_friend:(fun cl email -> Client.add_friend cl ~email ())
+        ~call:(fun cl email intent -> Client.call cl ~email ~intent)
+        ~af:(fun () ->
+          let s = Deployment.run_addfriend_round d () in
+          ( s.Deployment.af_attempts,
+            List.map (fun (w, e) -> (w, pp_af_event e)) s.Deployment.events ))
+        ~dial:(fun () ->
+          let s = Deployment.run_dialing_round d () in
+          ( s.Deployment.dial_attempts,
+            List.map (fun (w, e) -> (w, pp_dial_event e)) s.Deployment.calls ))
+    in
+    let ref_events = ref_af @ ref_dial in
+    if net_events = ref_events then begin
+      Printf.printf
+        "e2e-net: PASS — %d add-friend + %d dialing rounds over TCP, protocol results \
+         (events, session keys, retry counts) identical to the in-process deployment\n"
+        rounds rounds;
+      0
+    end
+    else begin
+      prerr_endline "e2e-net: FAIL — networked and in-process protocol results diverge:";
+      List.iteri
+        (fun i ((na, nev), (ra, rev)) ->
+          if (na, nev) <> (ra, rev) then
+            Printf.eprintf "  round %d:\n    net (attempts %d): %s\n    ref (attempts %d): %s\n" i
+              na (pp_events nev) ra (pp_events rev))
+        (List.combine net_events ref_events);
+      1
+    end
+  end
+
+let e2e_net_cmd =
+  let rounds =
+    Arg.(
+      value & opt int 2
+      & info [ "rounds" ] ~docv:"N"
+          ~doc:"Add-friend and dialing rounds to run (>= 2; the second add-friend round \
+                carries the confirmations).")
+  in
+  let faults =
+    Arg.(
+      value
+      & opt string "crash@2:server=1"
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:
+            "Fault schedule (DESIGN.md §10 grammar): crash entries SIGKILL the mixer \
+             process mid-round and recovery respawns it. \"none\" disables faults.")
+  in
+  let skip_verify =
+    Arg.(
+      value & flag
+      & info [ "skip-verify" ]
+          ~doc:"Skip replaying the scenario on the in-process deployment for comparison.")
+  in
+  Cmd.v
+    (Cmd.info "e2e-net"
+       ~doc:
+         "Spawn a 3-mixer + 1-PKG anytrust deployment as separate OS processes, run \
+          add-friend and dialing rounds over localhost TCP (killing and respawning a \
+          mixer mid-round under the fault schedule), and verify the protocol results \
+          match the in-process deployment byte for byte.")
+    Term.(const run_e2e_net $ seed_arg $ rounds $ faults $ skip_verify $ domains_arg)
+
 let () =
   let doc = "Alpenhorn: metadata-private bootstrapping (OCaml reproduction)" in
   exit
     (Cmd.eval'
        (Cmd.group
           (Cmd.info "alpenhorn" ~doc)
-          [ session_cmd; params_cmd; simulate_cmd; serve_metrics_cmd; top_cmd ]))
+          [
+            session_cmd;
+            params_cmd;
+            simulate_cmd;
+            serve_metrics_cmd;
+            top_cmd;
+            serve_pkg_cmd;
+            serve_mixer_cmd;
+            e2e_net_cmd;
+          ]))

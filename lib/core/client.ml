@@ -206,12 +206,15 @@ let rollback t cp =
 
 (* ---- add-friend rounds (Algorithm 1) ---- *)
 
-let begin_addfriend_round t ~round ~now ~pkgs =
+(* The transport seam: extraction as an abstract per-PKG call, so the same
+   client code runs against in-process [Pkg.t] handles or a network-backed
+   transport (Alpenhorn_remote speaks this through its framed RPC). *)
+let begin_addfriend_round_with t ~round ~n_pkgs ~extract =
   let signature = sign_extraction_request t ~round in
   let rec collect i keys sigs =
-    if i = Array.length pkgs then Ok (keys, sigs)
+    if i = n_pkgs then Ok (keys, sigs)
     else begin
-      match Pkg.extract pkgs.(i) ~now ~round ~email:t.email ~signature with
+      match extract i ~email:t.email ~signature with
       | Error e -> Error e
       | Ok (key, att) -> collect (i + 1) (key :: keys) (att :: sigs)
     end
@@ -225,6 +228,10 @@ let begin_addfriend_round t ~round ~now ~pkgs =
         identity_key = Some (Ibe.aggregate_identity t.params keys);
         pkg_sigs = Bls.aggregate t.params sigs;
       }
+
+let begin_addfriend_round t ~round ~now ~pkgs =
+  begin_addfriend_round_with t ~round ~n_pkgs:(Array.length pkgs) ~extract:(fun i ~email ~signature ->
+      Pkg.extract pkgs.(i) ~now ~round ~email ~signature)
 
 (* Batched variant for a whole deployment: one Pkg.extract_batch call per
    PKG covers every client, so the per-request verify/extract/sign work
@@ -268,7 +275,7 @@ let build_request t af ~dialing_key ~dialing_round =
       dialing_round;
     }
   in
-  { skeleton with Wire.sender_sig = Bls.sign t.params t.sk (Wire.sender_sig_message skeleton) }
+  { skeleton with Wire.sender_sig = Bls.sign t.params t.sk (Wire.sender_sig_message t.params skeleton) }
 
 let cover_addfriend_payload t =
   Payload.encode ~mailbox:Payload.cover (Drbg.bytes t.rng (Wire.request_ciphertext_size t.params))
@@ -341,7 +348,7 @@ let verify_request t ~round (r : Wire.friend_request) =
      re-verifies that name which signature was bad. *)
   if
     Bls.verify_batch t.params
-      [| (agg, att, r.pkg_sigs); (r.sender_key, Wire.sender_sig_message r, r.sender_sig) |]
+      [| (agg, att, r.pkg_sigs); (r.sender_key, Wire.sender_sig_message t.params r, r.sender_sig) |]
   then Ok ()
   else if not (Bls.verify t.params agg att r.pkg_sigs) then Error `Bad_pkg_sigs
   else Error `Bad_sender_sig

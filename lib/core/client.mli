@@ -134,6 +134,22 @@ val begin_addfriend_round :
 (** Step 1: authenticate to every PKG, collect and aggregate identity keys
     and attestation signatures. *)
 
+val begin_addfriend_round_with :
+  t ->
+  round:int ->
+  n_pkgs:int ->
+  extract:
+    (int ->
+    email:string ->
+    signature:Bls.signature ->
+    (Ibe.identity_key * Bls.signature, Pkg.error) result) ->
+  (af_round, Pkg.error) result
+(** The transport seam behind {!begin_addfriend_round}: [extract i] performs
+    the authenticated key-extraction round trip with the [i]th PKG, however
+    the caller reaches it — an in-process {!Pkg.t} handle or a network RPC
+    ({!Alpenhorn_remote}'s framed TCP transport). Identical aggregation and
+    first-error semantics. *)
+
 val begin_addfriend_round_batch :
   t list ->
   round:int ->

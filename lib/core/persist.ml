@@ -75,7 +75,11 @@ let decode_plain (params : Params.t) s =
         end
       in
       let* pinned = entries n [] in
-      Some { email; signing_secret = Bigint.of_bytes_be sk_bytes; pinned }
+      (* total: trailing bytes after the pinned list mean the blob was
+         corrupted or extended — a silently-truncating import would let a
+         tampered backup restore "successfully" *)
+      if !pos <> String.length s then None
+      else Some { email; signing_secret = Bigint.of_bytes_be sk_bytes; pinned }
     end
   end
 

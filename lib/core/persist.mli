@@ -34,3 +34,17 @@ val export_identity :
 
 val import_identity : Params.t -> passphrase:string -> string -> identity_backup option
 (** [None] on a wrong passphrase, tampered blob, or malformed contents. *)
+
+(** {1 Inner (pre-seal) codec — exposed for tests} *)
+
+val encode_plain :
+  Params.t ->
+  email:string ->
+  signing_secret:Bigint.t ->
+  pinned:(string * Bls.public) list ->
+  string
+
+val decode_plain : Params.t -> string -> identity_backup option
+(** Total decoder for the sealed payload: rejects bad framing, undecodable
+    points, and any trailing bytes after the pinned list (a
+    corrupted-then-extended blob must not import silently). *)

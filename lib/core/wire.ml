@@ -17,8 +17,14 @@ type friend_request = {
 let max_email_length = 64
 let dial_token_size = 32
 
-let sender_sig_message r =
+(* The signature must bind the ephemeral dialing key (and the long-term
+   key it rides with) to the email and round — otherwise a malicious mix
+   server could swap the DH half in transit and the sender signature would
+   still verify, exactly the MITM Fig 3 rules out. *)
+let sender_sig_message (params : Params.t) r =
   "friend-req" ^ Util.be32 (String.length r.sender_email) ^ r.sender_email
+  ^ Bls.public_bytes params r.sender_key
+  ^ Dh.public_bytes params r.dialing_key
   ^ Util.be32 r.dialing_round
 
 let point_size (params : Params.t) = Curve.point_bytes params.fp
@@ -49,6 +55,15 @@ let decode_request (params : Params.t) s =
     let n = Char.code s.[0] in
     if n > max_email_length then None
     else begin
+      (* canonicality: the padding after the email must be all-zero, so
+         exactly one encoding decodes to a given request (no covert
+         channel, no signature-stripping games via padding malleability) *)
+      let padding_zero = ref true in
+      for i = 1 + n to max_email_length do
+        if s.[i] <> '\000' then padding_zero := false
+      done;
+      if not !padding_zero then None
+      else begin
       let sender_email = String.sub s 1 n in
       let off = 1 + max_email_length in
       let field i = String.sub s (off + (i * ps)) ps in
@@ -59,5 +74,6 @@ let decode_request (params : Params.t) s =
       let* dialing_key = Dh.public_of_bytes params (field 3) in
       let dialing_round = Util.read_be32 s (off + (4 * ps)) in
       Some { sender_email; sender_key; sender_sig; pkg_sigs; dialing_key; dialing_round }
+      end
     end
   end

@@ -21,8 +21,12 @@ type friend_request = {
 val max_email_length : int
 (** 64 bytes; longer addresses are rejected at registration. *)
 
-val sender_sig_message : friend_request -> string
-(** The bytes [sender_sig] covers. *)
+val sender_sig_message : Params.t -> friend_request -> string
+(** The bytes [sender_sig] covers: the sender email, the sender's
+    long-term key, the ephemeral dialing key, and the dialing round
+    (paper Fig 3). Binding the DH half is what stops a malicious server
+    from swapping it in transit and mounting the MITM the design rules
+    out. *)
 
 val request_plaintext_size : Params.t -> int
 (** Fixed size of an encoded friend request before IBE encryption. *)
@@ -35,6 +39,8 @@ val encode_request : Params.t -> friend_request -> string
 (** @raise Invalid_argument if the email exceeds {!max_email_length}. *)
 
 val decode_request : Params.t -> string -> friend_request option
+(** Total and canonical: rejects wrong sizes, undecodable points, and
+    nonzero email padding — exactly one encoding decodes per request. *)
 
 val dial_token_size : int
 (** 32 bytes (the paper's 256-bit dial tokens). *)

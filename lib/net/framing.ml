@@ -1,0 +1,145 @@
+(* Length-prefixed binary framing for the Alpenhorn wire protocol
+   (DESIGN.md §13). A frame is
+
+     len:u32be  tag:u8  payload:(len-1 bytes)
+
+   [len] counts the tag byte plus the payload, so the minimum legal value
+   is 1. The decoder is total: every input either yields a frame, asks for
+   more bytes, or is rejected as corrupt — nothing raises on attacker
+   bytes. An explicit payload ceiling turns absurd length prefixes into
+   [Corrupt] immediately instead of buffering toward them. *)
+
+type frame = { tag : int; payload : string }
+
+let default_max_payload = 8 * 1024 * 1024
+
+let be32 v =
+  String.init 4 (fun i -> Char.chr ((v lsr (8 * (3 - i))) land 0xff))
+
+let read_be32 s pos =
+  (Char.code s.[pos] lsl 24)
+  lor (Char.code s.[pos + 1] lsl 16)
+  lor (Char.code s.[pos + 2] lsl 8)
+  lor Char.code s.[pos + 3]
+
+let encode ?(max_payload = default_max_payload) { tag; payload } =
+  if tag < 0 || tag > 0xff then invalid_arg "Framing.encode: tag out of range";
+  if String.length payload > max_payload then invalid_arg "Framing.encode: payload too large";
+  let b = Buffer.create (5 + String.length payload) in
+  Buffer.add_string b (be32 (1 + String.length payload));
+  Buffer.add_char b (Char.chr tag);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+type decode_result =
+  | Frame of frame * int
+  | Need_more
+  | Corrupt of string
+
+let decode ?(max_payload = default_max_payload) s ~pos =
+  let n = String.length s in
+  if pos < 0 || pos > n then Corrupt "bad offset"
+  else if n - pos < 4 then Need_more
+  else begin
+    let len = read_be32 s pos in
+    if len < 1 then Corrupt "frame length 0"
+    else if len - 1 > max_payload then
+      Corrupt (Printf.sprintf "frame of %d bytes exceeds the %d-byte bound" (len - 1) max_payload)
+    else if n - pos - 4 < len then Need_more
+    else begin
+      let tag = Char.code s.[pos + 4] in
+      Frame ({ tag; payload = String.sub s (pos + 5) (len - 1) }, pos + 4 + len)
+    end
+  end
+
+(* Total single-frame decoder: exactly one frame, nothing before or after. *)
+let of_string ?max_payload s =
+  match decode ?max_payload s ~pos:0 with
+  | Frame (f, stop) when stop = String.length s -> Some f
+  | Frame _ | Need_more | Corrupt _ -> None
+
+(* ---- field codec for frame payloads ----
+
+   The same cursor style as the rest of the tree (Persist): a writer over
+   [Buffer.t] and a total option-returning reader. Integers are u32be,
+   floats ride as their IEEE-754 bits, strings and lists are
+   length-prefixed. *)
+
+module Fields = struct
+  let u8 b v =
+    if v < 0 || v > 0xff then invalid_arg "Fields.u8";
+    Buffer.add_char b (Char.chr v)
+
+  let u32 b v =
+    if v < 0 || v > 0x3fffffff then invalid_arg "Fields.u32";
+    Buffer.add_string b (be32 v)
+
+  let f64 b v =
+    let bits = Int64.bits_of_float v in
+    for i = 7 downto 0 do
+      Buffer.add_char b (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (8 * i)) 0xffL)))
+    done
+
+  let str b s =
+    u32 b (String.length s);
+    Buffer.add_string b s
+
+  let strs b l =
+    u32 b (List.length l);
+    List.iter (str b) l
+
+  type cursor = { src : string; mutable pos : int }
+
+  let cursor src = { src; pos = 0 }
+  let finished c = c.pos = String.length c.src
+
+  let get_u8 c =
+    if c.pos + 1 > String.length c.src then None
+    else begin
+      let v = Char.code c.src.[c.pos] in
+      c.pos <- c.pos + 1;
+      Some v
+    end
+
+  let get_u32 c =
+    if c.pos + 4 > String.length c.src then None
+    else begin
+      let v = read_be32 c.src c.pos in
+      c.pos <- c.pos + 4;
+      if v < 0 then None else Some v
+    end
+
+  let get_f64 c =
+    if c.pos + 8 > String.length c.src then None
+    else begin
+      let bits = ref 0L in
+      for i = 0 to 7 do
+        bits := Int64.logor (Int64.shift_left !bits 8) (Int64.of_int (Char.code c.src.[c.pos + i]))
+      done;
+      c.pos <- c.pos + 8;
+      Some (Int64.float_of_bits !bits)
+    end
+
+  let get_str c =
+    match get_u32 c with
+    | None -> None
+    | Some n ->
+      if c.pos + n > String.length c.src then None
+      else begin
+        let v = String.sub c.src c.pos n in
+        c.pos <- c.pos + n;
+        Some v
+      end
+
+  let get_strs c =
+    match get_u32 c with
+    | None -> None
+    | Some n ->
+      let rec go i acc =
+        if i = 0 then Some (List.rev acc)
+        else match get_str c with None -> None | Some s -> go (i - 1) (s :: acc)
+      in
+      (* bound list headers by the bytes actually present: each element
+         costs at least its 4-byte length prefix *)
+      if n > (String.length c.src - c.pos) / 4 then None else go n []
+end

@@ -1,0 +1,59 @@
+(** Length-prefixed binary framing for the Alpenhorn wire protocol
+    (DESIGN.md §13).
+
+    A frame on the wire is [len:u32be · tag:u8 · payload], where [len]
+    counts the tag byte plus the payload. The decoder is {e total}:
+    attacker-controlled bytes yield a frame, a request for more input, or
+    a [Corrupt] verdict — never an exception — and a configurable payload
+    ceiling rejects absurd length prefixes before any buffering happens.
+
+    {!Fields} is the companion codec for frame payloads: u32be integers,
+    IEEE-754 floats, length-prefixed strings and string lists, read back
+    through a total option-returning cursor. *)
+
+type frame = { tag : int; payload : string }
+
+val default_max_payload : int
+(** 8 MiB. *)
+
+val encode : ?max_payload:int -> frame -> string
+(** @raise Invalid_argument when the tag is outside [0, 255] or the
+    payload exceeds the bound. *)
+
+type decode_result =
+  | Frame of frame * int  (** decoded frame and the offset just past it *)
+  | Need_more  (** a prefix of a valid frame; read more bytes *)
+  | Corrupt of string  (** not a frame; the connection should be dropped *)
+
+val decode : ?max_payload:int -> string -> pos:int -> decode_result
+(** Decode the frame starting at [pos]. Total: never raises on malformed
+    input (a [pos] outside the string is reported as [Corrupt]). *)
+
+val of_string : ?max_payload:int -> string -> frame option
+(** Total single-frame decoder: [Some] iff the input is exactly one
+    well-formed frame with no trailing bytes. *)
+
+(** Payload field codec: writers over [Buffer.t], total cursor readers. *)
+module Fields : sig
+  val u8 : Buffer.t -> int -> unit
+  val u32 : Buffer.t -> int -> unit
+  val f64 : Buffer.t -> float -> unit
+  val str : Buffer.t -> string -> unit
+  (** 4-byte length prefix, then the bytes. *)
+
+  val strs : Buffer.t -> string list -> unit
+  (** 4-byte count, then each string via {!str}. *)
+
+  type cursor
+
+  val cursor : string -> cursor
+  val finished : cursor -> bool
+  (** True when every byte has been consumed — callers reject trailing
+      garbage with this. *)
+
+  val get_u8 : cursor -> int option
+  val get_u32 : cursor -> int option
+  val get_f64 : cursor -> float option
+  val get_str : cursor -> string option
+  val get_strs : cursor -> string list option
+end

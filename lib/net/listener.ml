@@ -18,6 +18,7 @@ type conn = {
   fd : Unix.file_descr;
   inbuf : Buffer.t;
   opened_at : float;
+  mutable scanned : int; (* head-terminator search resumes here, not at 0 *)
   mutable out : string;
   mutable out_off : int;
   mutable writing : bool;
@@ -170,17 +171,26 @@ let respond t c (resp : response) =
   c.out_off <- 0;
   c.writing <- true
 
-(* the header terminator; tolerate bare-LF clients *)
-let head_complete buf =
-  let s = Buffer.contents buf in
-  let n = String.length s in
+(* The header terminator; tolerate bare-LF clients. The scan resumes at
+   [c.scanned] (rewound 3 bytes so a terminator split across chunks is
+   still seen) instead of offset 0 — a slow-trickle client used to cost a
+   full rescan of the buffer per received chunk. [Buffer.nth] is O(1), so
+   nothing is materialized until a terminator is actually found. *)
+let head_complete (c : conn) =
+  let b = c.inbuf in
+  let n = Buffer.length b in
+  let ch i = Buffer.nth b i in
   let rec find i =
-    if i + 1 >= n then None
-    else if i + 3 < n && String.sub s i 4 = "\r\n\r\n" then Some (String.sub s 0 i)
-    else if String.sub s i 2 = "\n\n" then Some (String.sub s 0 i)
+    if i + 1 >= n then begin
+      c.scanned <- Stdlib.max 0 (n - 3);
+      None
+    end
+    else if i + 3 < n && ch i = '\r' && ch (i + 1) = '\n' && ch (i + 2) = '\r' && ch (i + 3) = '\n'
+    then Some (Buffer.sub b 0 i)
+    else if ch i = '\n' && ch (i + 1) = '\n' then Some (Buffer.sub b 0 i)
     else find (i + 1)
   in
-  find 0
+  find c.scanned
 
 let handle_readable t c =
   let chunk = Bytes.create 4096 in
@@ -198,7 +208,7 @@ let handle_readable t c =
           body = "request head too large\n";
         }
     else
-      match head_complete c.inbuf with
+      match head_complete c with
       | None -> ()
       | Some head -> (
         match parse_request head with
@@ -241,6 +251,7 @@ let accept_ready t =
           fd;
           inbuf = Buffer.create 256;
           opened_at = Unix.gettimeofday ();
+          scanned = 0;
           out = "";
           out_off = 0;
           writing = false;
@@ -331,9 +342,21 @@ let fetch ?(timeout = 5.0) ?(host = "127.0.0.1") ~port path =
     Error (Printf.sprintf "connect %s:%d: %s" host port (Unix.error_message e))
   | () -> (
     let req = Printf.sprintf "GET %s HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n" path host in
-    match Unix.write_substring fd req 0 (String.length req) with
-    | exception Unix.Unix_error (e, _, _) -> Error ("write: " ^ Unix.error_message e)
-    | _ -> (
+    (* [Unix.write_substring] may send fewer bytes than asked (signal, small
+       socket buffer): loop until the whole request is out. *)
+    let rec write_all off =
+      if off >= String.length req then Ok ()
+      else
+        match Unix.write_substring fd req off (String.length req - off) with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all off
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          Error "write: timeout"
+        | exception Unix.Unix_error (e, _, _) -> Error ("write: " ^ Unix.error_message e)
+        | n -> write_all (off + n)
+    in
+    match write_all 0 with
+    | Error _ as e -> e
+    | Ok () -> (
       let buf = Bytes.create 65536 in
       let b = Buffer.create 4096 in
       let rec read_all () =

@@ -1,0 +1,301 @@
+(* Framed request/response RPC over TCP: the Listener's select machinery
+   generalized from HTTP to length-prefixed binary streams (DESIGN.md
+   §13). Differences from the HTTP listener:
+
+   - connections are persistent: a client sends any number of request
+     frames and receives one response frame per request, in order;
+   - partial reads accumulate through the framing decoder (with an
+     explicit consumed-offset so nothing is rescanned), partial writes
+     drain through per-connection output state;
+   - a [Corrupt] verdict from the decoder drops the connection — framing
+     errors are not recoverable mid-stream.
+
+   Zero opam dependencies: Unix + the in-tree telemetry registry. *)
+
+module Tel = Alpenhorn_telemetry.Telemetry
+
+type handler = Framing.frame -> Framing.frame
+
+let error_tag = 0xff
+
+let error_frame msg = { Framing.tag = error_tag; payload = msg }
+
+module Server = struct
+  type conn = {
+    fd : Unix.file_descr;
+    inbuf : Buffer.t;
+    mutable consumed : int; (* frames before this offset are already handled *)
+    mutable out : string;
+    mutable out_off : int;
+  }
+
+  type t = {
+    listen_fd : Unix.file_descr;
+    bound_port : int;
+    handler : handler;
+    max_payload : int;
+    conns : (Unix.file_descr, conn) Hashtbl.t; (* loop-domain only *)
+    stop_flag : bool Atomic.t;
+    pipe_rd : Unix.file_descr;
+    pipe_wr : Unix.file_descr;
+    mutable accepting : bool;
+    mutable closed : bool;
+    c_calls : Tel.Counter.t;
+    c_errors : Tel.Counter.t;
+    g_open : Tel.Gauge.t;
+  }
+
+  let create ?(host = "127.0.0.1") ?(backlog = 16) ?(max_payload = Framing.default_max_payload)
+      ~port handler =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    (try Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+     with e ->
+       Unix.close fd;
+       raise e);
+    Unix.listen fd backlog;
+    Unix.set_nonblock fd;
+    let bound_port =
+      match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | Unix.ADDR_UNIX _ -> port
+    in
+    let pipe_rd, pipe_wr = Unix.pipe () in
+    Unix.set_nonblock pipe_rd;
+    Unix.set_nonblock pipe_wr;
+    let reg = Tel.default in
+    {
+      listen_fd = fd;
+      bound_port;
+      handler;
+      max_payload;
+      conns = Hashtbl.create 16;
+      stop_flag = Atomic.make false;
+      pipe_rd;
+      pipe_wr;
+      accepting = true;
+      closed = false;
+      c_calls = Tel.Counter.v reg "rpc.calls";
+      c_errors = Tel.Counter.v reg "rpc.errors";
+      g_open = Tel.Gauge.v reg "rpc.open_connections";
+    }
+
+  let port t = t.bound_port
+
+  let close_conn t c =
+    Hashtbl.remove t.conns c.fd;
+    (try Unix.close c.fd with Unix.Unix_error _ -> ());
+    Tel.Gauge.set t.g_open (float_of_int (Hashtbl.length t.conns))
+
+  (* Handle every complete frame sitting in the input buffer, appending
+     responses to the output state; then compact the buffer so the consumed
+     prefix is not rescanned (or re-held) on the next chunk. *)
+  let drain_frames t c =
+    let data = Buffer.contents c.inbuf in
+    let responses = Buffer.create 64 in
+    let rec go pos =
+      match Framing.decode ~max_payload:t.max_payload data ~pos with
+      | Framing.Frame (req, next) ->
+        Tel.Counter.inc t.c_calls;
+        let resp =
+          try t.handler req
+          with e ->
+            Tel.Counter.inc t.c_errors;
+            error_frame (Printexc.to_string e)
+        in
+        Buffer.add_string responses (Framing.encode ~max_payload:t.max_payload resp);
+        go next
+      | Framing.Need_more -> `Keep_from pos
+      | Framing.Corrupt _ ->
+        Tel.Counter.inc t.c_errors;
+        `Drop
+    in
+    match go c.consumed with
+    | `Drop -> close_conn t c
+    | `Keep_from pos ->
+      if pos > 0 then begin
+        let rest = String.sub data pos (String.length data - pos) in
+        Buffer.clear c.inbuf;
+        Buffer.add_string c.inbuf rest
+      end;
+      c.consumed <- 0;
+      if Buffer.length responses > 0 then c.out <- c.out ^ Buffer.contents responses
+
+  let handle_readable t c =
+    let chunk = Bytes.create 4096 in
+    match Unix.read c.fd chunk 0 4096 with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+    | exception Unix.Unix_error (_, _, _) -> close_conn t c
+    | 0 -> close_conn t c
+    | n ->
+      Buffer.add_subbytes c.inbuf chunk 0 n;
+      drain_frames t c
+
+  let handle_writable t c =
+    let remaining = String.length c.out - c.out_off in
+    match Unix.write_substring c.fd c.out c.out_off remaining with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+    | exception Unix.Unix_error (_, _, _) -> close_conn t c
+    | n ->
+      c.out_off <- c.out_off + n;
+      if c.out_off >= String.length c.out then begin
+        c.out <- "";
+        c.out_off <- 0
+      end
+
+  let accept_ready t =
+    let rec go n =
+      match Unix.accept t.listen_fd with
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> n
+      | exception Unix.Unix_error (_, _, _) -> n
+      | fd, _ ->
+        Unix.set_nonblock fd;
+        Hashtbl.replace t.conns fd
+          { fd; inbuf = Buffer.create 256; consumed = 0; out = ""; out_off = 0 };
+        Tel.Gauge.set t.g_open (float_of_int (Hashtbl.length t.conns));
+        go (n + 1)
+    in
+    go 0
+
+  let drain_pipe t =
+    let buf = Bytes.create 64 in
+    let rec go () =
+      match Unix.read t.pipe_rd buf 0 64 with
+      | exception Unix.Unix_error _ -> ()
+      | 0 -> ()
+      | _ -> go ()
+    in
+    go ()
+
+  let poll t ~timeout =
+    if t.closed then 0
+    else begin
+      if Atomic.get t.stop_flag then t.accepting <- false;
+      let readers = ref [ t.pipe_rd ] and writers = ref [] in
+      if t.accepting then readers := t.listen_fd :: !readers;
+      Hashtbl.iter
+        (fun fd c ->
+          if c.out <> "" then writers := fd :: !writers else readers := fd :: !readers)
+        t.conns;
+      match Unix.select !readers !writers [] timeout with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> 0
+      | rs, ws, _ ->
+        let progressed = ref 0 in
+        List.iter
+          (fun fd ->
+            incr progressed;
+            if fd = t.pipe_rd then drain_pipe t
+            else if fd = t.listen_fd then ignore (accept_ready t)
+            else
+              match Hashtbl.find_opt t.conns fd with Some c -> handle_readable t c | None -> ())
+          rs;
+        List.iter
+          (fun fd ->
+            incr progressed;
+            match Hashtbl.find_opt t.conns fd with Some c -> handle_writable t c | None -> ())
+          ws;
+        !progressed
+    end
+
+  let close t =
+    if not t.closed then begin
+      t.closed <- true;
+      (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+      (try Unix.close t.pipe_rd with Unix.Unix_error _ -> ());
+      (try Unix.close t.pipe_wr with Unix.Unix_error _ -> ());
+      Hashtbl.iter (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) t.conns;
+      Hashtbl.reset t.conns;
+      Tel.Gauge.set t.g_open 0.0
+    end
+
+  let stop t =
+    Atomic.set t.stop_flag true;
+    (try ignore (Unix.write_substring t.pipe_wr "x" 0 1) with Unix.Unix_error _ -> ())
+
+  let pending_writes t =
+    Hashtbl.fold (fun _ c n -> if c.out <> "" then n + 1 else n) t.conns 0
+
+  let run t =
+    while not (Atomic.get t.stop_flag) do
+      ignore (poll t ~timeout:0.25)
+    done;
+    (* graceful drain: flush in-flight responses, bounded; idle persistent
+       connections are simply closed — the peer sees EOF on its next call *)
+    let deadline = Unix.gettimeofday () +. 1.0 in
+    while pending_writes t > 0 && Unix.gettimeofday () < deadline do
+      ignore (poll t ~timeout:0.05)
+    done;
+    close t
+end
+
+module Client = struct
+  type t = {
+    fd : Unix.file_descr;
+    max_payload : int;
+    inbuf : Buffer.t;
+    mutable closed : bool;
+  }
+
+  let connect ?(timeout = 5.0) ?(max_payload = Framing.default_max_payload)
+      ?(host = "127.0.0.1") ~port () =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    match
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
+      Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout;
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+    with
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (Printf.sprintf "connect %s:%d: %s" host port (Unix.error_message e))
+    | () -> Ok { fd; max_payload; inbuf = Buffer.create 256; closed = false }
+
+  let close t =
+    if not t.closed then begin
+      t.closed <- true;
+      try Unix.close t.fd with Unix.Unix_error _ -> ()
+    end
+
+  let write_all t s =
+    let rec go off =
+      if off >= String.length s then Ok ()
+      else
+        match Unix.write_substring t.fd s off (String.length s - off) with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          Error "write: timeout"
+        | exception Unix.Unix_error (e, _, _) -> Error ("write: " ^ Unix.error_message e)
+        | n -> go (off + n)
+    in
+    go 0
+
+  (* Read until exactly one frame decodes; responses arrive strictly one
+     per request, so leftover bytes belong to the next response's prefix. *)
+  let read_frame t =
+    let chunk = Bytes.create 4096 in
+    let rec go () =
+      match Framing.decode ~max_payload:t.max_payload (Buffer.contents t.inbuf) ~pos:0 with
+      | Framing.Frame (f, stop) ->
+        let data = Buffer.contents t.inbuf in
+        let rest = String.sub data stop (String.length data - stop) in
+        Buffer.clear t.inbuf;
+        Buffer.add_string t.inbuf rest;
+        Ok f
+      | Framing.Corrupt m -> Error ("corrupt response: " ^ m)
+      | Framing.Need_more -> (
+        match Unix.read t.fd chunk 0 4096 with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          Error "read: timeout"
+        | exception Unix.Unix_error (e, _, _) -> Error ("read: " ^ Unix.error_message e)
+        | 0 -> Error "read: connection closed"
+        | n ->
+          Buffer.add_subbytes t.inbuf chunk 0 n;
+          go ())
+    in
+    go ()
+
+  let call t frame =
+    if t.closed then Error "call on closed connection"
+    else
+      match write_all t (Framing.encode ~max_payload:t.max_payload frame) with
+      | Error _ as e -> e
+      | Ok () -> read_frame t
+end

@@ -1,0 +1,69 @@
+(** Framed request/response RPC over TCP (DESIGN.md §13).
+
+    The {!Server} generalizes the {!Listener}'s non-blocking select
+    machinery from HTTP to {!Framing} streams: connections are
+    persistent, each request frame yields exactly one response frame (in
+    order), and every connection carries its own partial-read and
+    partial-write state so slow or bursty peers never block the loop. A
+    [Corrupt] framing verdict drops the connection — stream framing
+    errors are not recoverable.
+
+    The {!Client} is deliberately blocking (socket timeouts bound every
+    syscall): RPC callers in this tree are orchestrators issuing one call
+    at a time per connection.
+
+    Handler exceptions are caught and returned to the peer as an
+    {!error_tag} frame carrying the exception text. *)
+
+type handler = Framing.frame -> Framing.frame
+
+val error_tag : int
+(** 0xff — response tag for handler failures; the payload is the error
+    message. *)
+
+val error_frame : string -> Framing.frame
+
+module Server : sig
+  type t
+
+  val create :
+    ?host:string -> ?backlog:int -> ?max_payload:int -> port:int -> handler -> t
+  (** Bind and listen (non-blocking). [~port:0] picks an ephemeral port;
+      read it back with {!port}. [host] defaults to localhost.
+      @raise Unix.Unix_error when the bind fails. *)
+
+  val port : t -> int
+
+  val run : t -> unit
+  (** Serve until {!stop}, then flush in-flight responses (bounded) and
+      close every descriptor. Run this in its own domain or process. *)
+
+  val poll : t -> timeout:float -> int
+  (** One select iteration — accept, read, dispatch, write — returning
+      the number of descriptors that made progress. {!run} is a loop over
+      this; tests can single-step it instead. *)
+
+  val stop : t -> unit
+  (** Signal {!run} to finish. Safe from any domain or signal handler:
+      sets an atomic flag and pokes the loop's wakeup pipe. *)
+
+  val close : t -> unit
+  (** Close all descriptors now. Idempotent; {!run} calls it on exit. *)
+end
+
+module Client : sig
+  type t
+
+  val connect :
+    ?timeout:float -> ?max_payload:int -> ?host:string -> port:int -> unit ->
+    (t, string) result
+  (** TCP connect with [timeout] (default 5s) applied to every subsequent
+      read and write on the connection. *)
+
+  val call : t -> Framing.frame -> (Framing.frame, string) result
+  (** Send one request frame, block for the one response frame. Partial
+      writes and reads are looped; [EINTR] is retried; a timeout,
+      connection loss, or corrupt response surfaces as [Error]. *)
+
+  val close : t -> unit
+end

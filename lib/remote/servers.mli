@@ -1,0 +1,43 @@
+(** Server-process logic for the framed RPC protocol (DESIGN.md §13): a
+    PKG process and a mixer process, each a state record plus a
+    [Framing.frame -> Framing.frame] handler for {!Alpenhorn_net.Rpc}.
+
+    Determinism: a server derives its DRBG from the deployment seed along
+    the exact path the in-process {!Alpenhorn_core.Deployment} uses
+    ({!Alpenhorn_crypto.Drbg.derive} is a pure HMAC fork), so a
+    multi-process deployment reproduces the in-process protocol results —
+    same client events, same session keys. Only noise bytes differ: each
+    mixer samples noise from its own local stream. *)
+
+module Framing = Alpenhorn_net.Framing
+module Params = Alpenhorn_pairing.Params
+module Pkg = Alpenhorn_pkg.Pkg
+module Server = Alpenhorn_mixnet.Server
+module Config = Alpenhorn_core.Config
+
+(** One PKG plus its simulated email provider (confirmation tokens are
+    read back over the {!Proto.pkg_inbox} op). *)
+module Pkg_server : sig
+  type t
+
+  val create : config:Config.t -> seed:string -> index:int -> t
+  (** [index] selects the ["pkg-<index>"] DRBG derivation, matching PKG
+      [index] of an in-process deployment created from the same seed. *)
+
+  val pkg : t -> Pkg.t
+  val handler : t -> Framing.frame -> Framing.frame
+  (** Raises [Failure] on malformed or unknown requests; {!Alpenhorn_net.Rpc}
+      turns that into an error frame. *)
+end
+
+(** One chain position of {e both} mixnet chains (add-friend and dialing),
+    as deployed: a mixer operator runs one process per position. *)
+module Mixer_server : sig
+  type t
+
+  val create : config:Config.t -> seed:string -> position:int -> t
+  (** @raise Invalid_argument when [position] is outside the configured
+      chain length. *)
+
+  val handler : t -> Framing.frame -> Framing.frame
+end

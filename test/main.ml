@@ -30,6 +30,7 @@ let () =
       ("ratelimit", Test_ratelimit.suite);
       ("entry", Test_entry.suite);
       ("persist", Test_persist.suite);
+      ("net", Test_net.suite);
       ("robustness", Test_robustness.suite);
       ("faults", Test_faults.suite);
       ("ledger", Test_ledger.suite);

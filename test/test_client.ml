@@ -31,7 +31,7 @@ let sample_request seed =
       dialing_round = 42;
     }
   in
-  (sk, { skeleton with Wire.sender_sig = Bls.sign pr sk (Wire.sender_sig_message skeleton) })
+  (sk, { skeleton with Wire.sender_sig = Bls.sign pr sk (Wire.sender_sig_message pr skeleton) })
 
 let unit_tests =
   [
@@ -117,7 +117,7 @@ let unit_tests =
           }
         in
         let forged =
-          { skeleton with Wire.sender_sig = Bls.sign pr fsk (Wire.sender_sig_message skeleton) }
+          { skeleton with Wire.sender_sig = Bls.sign pr fsk (Wire.sender_sig_message pr skeleton) }
         in
         (match Client.verify_request bob ~round:2 forged with
          | Error `Bad_pkg_sigs -> ()
@@ -167,6 +167,85 @@ let unit_tests =
         Client.call alice ~email:"bob@x" ~intent:0;
         let real = Client.dialing_submission alice ~num_mailboxes:1 ~server_pks in
         Alcotest.(check int) "same size" (String.length cover) (String.length real));
+    Alcotest.test_case "sender_sig binds the dialing key (MITM swap rejected)" `Quick (fun () ->
+        let d = Deployment.create ~config:Config.test ~seed:"client-swap" in
+        let pr = Deployment.params d in
+        let bob = Deployment.new_client d ~email:"bob@x" ~callbacks:Client.null_callbacks in
+        (* register a raw keypair for mallory directly with the PKGs so the
+           request carries genuine attestations — swapping the DH half must
+           then fail on the sender signature, not on PKGSigs *)
+        let rng = Drbg.create ~seed:"client-swap-keys" in
+        let msk, mpk = Bls.keygen pr rng in
+        let email = "mallory@x" in
+        let now = Deployment.now d in
+        Array.iter
+          (fun pkg ->
+            match Pkg.register pkg ~now ~email ~pk:mpk with
+            | Ok () -> ()
+            | Error e -> Alcotest.failf "register: %s" (Pkg.error_to_string e))
+          (Deployment.pkgs d);
+        List.iter
+          (fun (i, token) ->
+            match Pkg.confirm (Deployment.pkgs d).(i) ~now ~email ~token with
+            | Ok () -> ()
+            | Error e -> Alcotest.failf "confirm: %s" (Pkg.error_to_string e))
+          (Deployment.inbox d ~email);
+        let round = 1 in
+        Array.iter (fun pkg -> ignore (Pkg.begin_round pkg ~round)) (Deployment.pkgs d);
+        Array.iter
+          (fun pkg ->
+            match Pkg.reveal_round pkg ~round with
+            | Ok _ -> ()
+            | Error e -> Alcotest.failf "reveal: %s" (Pkg.error_to_string e))
+          (Deployment.pkgs d);
+        let ext_sig = Bls.sign pr msk (Pkg.extraction_request_message ~email ~round) in
+        let atts =
+          Array.to_list (Deployment.pkgs d)
+          |> List.map (fun pkg ->
+                 match Pkg.extract pkg ~now ~round ~email ~signature:ext_sig with
+                 | Ok (_, att) -> att
+                 | Error e -> Alcotest.failf "extract: %s" (Pkg.error_to_string e))
+        in
+        let _, dh_pk = Dh.keygen pr rng in
+        let skeleton =
+          {
+            Wire.sender_email = email;
+            sender_key = mpk;
+            sender_sig = Curve.infinity;
+            pkg_sigs = Bls.aggregate pr atts;
+            dialing_key = dh_pk;
+            dialing_round = 7;
+          }
+        in
+        let req =
+          { skeleton with Wire.sender_sig = Bls.sign pr msk (Wire.sender_sig_message pr skeleton) }
+        in
+        (match Client.verify_request bob ~round req with
+         | Ok () -> ()
+         | Error _ -> Alcotest.fail "genuine request rejected");
+        (* an in-path attacker re-wraps the request around their own DH key *)
+        let _, evil_dh = Dh.keygen pr (Drbg.create ~seed:"client-swap-evil") in
+        let swapped = { req with Wire.dialing_key = evil_dh } in
+        match Client.verify_request bob ~round swapped with
+        | Error `Bad_sender_sig -> ()
+        | Ok () -> Alcotest.fail "swapped dialing key accepted (MITM)"
+        | Error `Bad_pkg_sigs -> Alcotest.fail "wrong error: PKGSigs must still verify");
+    Alcotest.test_case "decode_request rejects nonzero email padding" `Quick (fun () ->
+        let pr = p () in
+        let rng = Drbg.create ~seed:"pad" in
+        let sk2, _ = Bls.keygen pr rng in
+        let _, req = sample_request "pad-req" in
+        let req = { req with Wire.pkg_sigs = Bls.sign pr sk2 "att"; sender_email = "a@b" } in
+        let enc = Wire.encode_request pr req in
+        Alcotest.(check bool) "canonical form decodes" true (Wire.decode_request pr enc <> None);
+        (* byte 0 is the email length; bytes 1+len .. max_email_length are
+           padding and must be all-zero — anything else is a covert channel *)
+        let len = Char.code enc.[0] in
+        Alcotest.(check int) "email length" 3 len;
+        let tweaked = Bytes.of_string enc in
+        Bytes.set tweaked (1 + len) 'Z';
+        Alcotest.(check bool) "nonzero padding rejected" true
+          (Wire.decode_request pr (Bytes.to_string tweaked) = None));
     Alcotest.test_case "remove_friend erases all traces" `Quick (fun () ->
         let d = Deployment.create ~config:Config.test ~seed:"remove" in
         let c = Deployment.new_client d ~email:"me@x" ~callbacks:Client.null_callbacks in

@@ -66,6 +66,16 @@ let unit_tests =
           [ 0; 20; String.length blob - 1 ];
         Alcotest.(check bool) "truncated" true
           (Persist.import_identity pr ~passphrase:"pw" (String.sub blob 0 10) = None));
+    Alcotest.test_case "decode_plain rejects trailing bytes" `Quick (fun () ->
+        let pr = p () in
+        let sk, pinned = sample_backup () in
+        let plain = Persist.encode_plain pr ~email:"alice@x" ~signing_secret:sk ~pinned in
+        Alcotest.(check bool) "exact blob decodes" true (Persist.decode_plain pr plain <> None);
+        (* a corrupted-then-extended payload must not import silently *)
+        Alcotest.(check bool) "trailing byte rejected" true
+          (Persist.decode_plain pr (plain ^ "\x00") = None);
+        Alcotest.(check bool) "trailing run rejected" true
+          (Persist.decode_plain pr (plain ^ String.make 8 'z') = None));
     Alcotest.test_case "empty pin list works" `Quick (fun () ->
         let pr = p () in
         let sk, _ = sample_backup () in
