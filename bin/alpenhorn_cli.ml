@@ -29,6 +29,7 @@ module Expose = Alpenhorn_telemetry.Expose
 module Timeseries = Alpenhorn_telemetry.Timeseries
 module Runtime_stats = Alpenhorn_telemetry.Runtime_stats
 module Dashboard = Alpenhorn_telemetry.Dashboard
+module Collector = Alpenhorn_telemetry.Collector
 module Listener = Alpenhorn_net.Listener
 module Rpc = Alpenhorn_net.Rpc
 module Servers = Alpenhorn_remote.Servers
@@ -156,9 +157,9 @@ let apply_domains domains =
 (* ---- live metrics endpoint (shared by session, simulate and the
    standalone serve-metrics command) ---- *)
 
-let expose_handler () =
+let expose_handler ?(labels = []) () =
   let cfg =
-    Expose.config ~series:Timeseries.default ~runtime:(Runtime_stats.get_default ()) ()
+    Expose.config ~series:Timeseries.default ~runtime:(Runtime_stats.get_default ()) ~labels ()
   in
   fun (req : Listener.request) ->
     let r = Expose.handle cfg ~meth:req.meth ~path:req.path ~query:req.query () in
@@ -596,8 +597,81 @@ let report_of_slo_json body =
       Some { Slo.healthy; checks = List.filter_map parse checks }
     | _ -> None)
 
-let run_top port host interval frames window replay color =
+(* Fleet table: one row per process from the collector's last snapshots. *)
+let print_fleet_rows coll =
+  Printf.printf "%-14s %-7s %-30s %9s %6s %9s %7s %9s\n" "INSTANCE" "ROLE" "STATUS" "RPC" "ERR"
+    "P99" "SPANS" "HEAP";
+  List.iter
+    (fun (r : Collector.row) ->
+      let status =
+        if r.Collector.row_up then "up"
+        else begin
+          let s = Printf.sprintf "DOWN %.0fs: %s" r.Collector.row_staleness r.Collector.row_status in
+          if String.length s > 30 then String.sub s 0 30 else s
+        end
+      in
+      Printf.printf "%-14s %-7s %-30s %9s %6d %9s %7d %9s\n" r.Collector.row_name
+        r.Collector.row_role status
+        (Dashboard.fmt_si (float_of_int r.Collector.row_rpc_calls))
+        r.Collector.row_rpc_errors
+        (Dashboard.fmt_seconds r.Collector.row_rpc_p99)
+        r.Collector.row_spans
+        (Dashboard.fmt_si r.Collector.row_heap_words))
+    (Collector.rows coll)
+
+(* "--fleet pkg-0=7001,mixer-1=otherhost:7002": comma-separated
+   [name=][host:]port scrape targets. *)
+let parse_fleet_targets spec =
+  let parse_item i item =
+    let name, addr =
+      match String.index_opt item '=' with
+      | Some eq -> (String.sub item 0 eq, String.sub item (eq + 1) (String.length item - eq - 1))
+      | None -> (Printf.sprintf "instance-%d" i, item)
+    in
+    let host, port_s =
+      match String.rindex_opt addr ':' with
+      | Some c -> (String.sub addr 0 c, String.sub addr (c + 1) (String.length addr - c - 1))
+      | None -> ("127.0.0.1", addr)
+    in
+    match int_of_string_opt port_s with
+    | Some port when port > 0 && name <> "" && host <> "" ->
+      Collector.instance ~name (Collector.Remote { host; port })
+    | _ ->
+      Printf.eprintf "alpenhorn: bad --fleet target %S (want [name=][host:]port)\n" item;
+      exit 2
+  in
+  match List.filter (fun s -> s <> "") (String.split_on_char ',' spec) with
+  | [] ->
+    prerr_endline "alpenhorn: --fleet needs at least one [name=][host:]port target";
+    exit 2
+  | items -> List.mapi parse_item items
+
+(* One row per process, refreshed every interval: the fleet view of top. *)
+let run_top_fleet spec interval frames =
+  let coll =
+    Collector.create
+      ~fetch:(fun ~host ~port path -> Listener.fetch ~host ~port path)
+      (parse_fleet_targets spec)
+  in
+  let rules = Collector.fleet_rules ~max_staleness:(Float.max 10.0 (interval *. 5.0)) () in
+  let stop = ref false in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true));
+  let i = ref 0 in
+  while (not !stop) && (frames = 0 || !i < frames) do
+    incr i;
+    Collector.scrape coll;
+    print_string Dashboard.ansi_clear;
+    print_fleet_rows coll;
+    Format.printf "%a@?" Slo.pp_report (Collector.evaluate coll rules);
+    flush stdout;
+    if (frames = 0 || !i < frames) && not !stop then Unix.sleepf interval
+  done;
+  0
+
+let run_top port host interval frames window replay color fleet =
   let color = not color in
+  if fleet <> "" then run_top_fleet fleet interval frames
+  else
   match replay with
   | Some path ->
     (* offline: render the recorded ring in one frame *)
@@ -689,12 +763,23 @@ let top_cmd =
                 of polling.")
   in
   let no_color = Arg.(value & flag & info [ "no-color" ] ~doc:"Disable ANSI colors.") in
+  let fleet =
+    Arg.(
+      value & opt string ""
+      & info [ "fleet" ] ~docv:"TARGETS"
+          ~doc:
+            "Fleet mode: poll several processes instead of one. $(docv) is a comma-separated \
+             list of [name=][host:]port metrics endpoints (e.g. \
+             \"pkg-0=9001,mixer-0=9002,mixer-1=9003\"); each frame scrapes all of them and \
+             renders one row per process plus the fleet SLO report.")
+  in
   Cmd.v
     (Cmd.info "top"
        ~doc:
          "Live ANSI dashboard over a metrics endpoint: rounds/s, unwraps/s, GC pause and heap \
-          sparklines, SLO status. Also renders offline from a recorded ring.")
-    Term.(const run_top $ port $ host $ interval $ frames $ window $ replay $ no_color)
+          sparklines, SLO status. Also renders offline from a recorded ring, and fleet mode \
+          ($(b,--fleet)) shows one row per process.")
+    Term.(const run_top $ port $ host $ interval $ frames $ window $ replay $ no_color $ fleet)
 
 (* ---- networked deployment: serve-pkg / serve-mixer / e2e-net ---- *)
 
@@ -703,19 +788,42 @@ let top_cmd =
    loop and prints "READY port=N" once bound, so a parent that spawned it
    with --port 0 can read the ephemeral port back. *)
 
-let ready_line port =
-  Printf.printf "READY port=%d\n%!" port
+let ready_line ?metrics port =
+  match metrics with
+  | Some m -> Printf.printf "READY port=%d metrics=%d\n%!" port m
+  | None -> Printf.printf "READY port=%d\n%!" port
 
-let run_rpc_server handler port =
+(* Serve the RPC loop, optionally with a telemetry endpoint on its own
+   domain. [instance]/[role] become constant labels on every exported
+   sample, so one fleet scrape distinguishes every process. The metrics
+   port is echoed in the READY handshake (metrics=M) for the parent. *)
+let run_rpc_server ~instance ~role ~handler ~metrics_port port =
   let server =
-    try Rpc.Server.create ~port handler
+    try Rpc.Server.create_traced ~port handler
     with Unix.Unix_error (e, _, _) ->
       Printf.eprintf "alpenhorn: cannot bind port %d: %s\n" port (Unix.error_message e);
       exit 2
   in
-  ready_line (Rpc.Server.port server);
-  Rpc.Server.run server;
-  0
+  match metrics_port with
+  | None ->
+    ready_line (Rpc.Server.port server);
+    Rpc.Server.run server;
+    0
+  | Some mport ->
+    let l =
+      try
+        Listener.create ~port:mport
+          (expose_handler ~labels:[ ("instance", instance); ("role", role) ] ())
+      with Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "alpenhorn: cannot bind metrics port %d: %s\n" mport (Unix.error_message e);
+        exit 2
+    in
+    let d = Domain.spawn (fun () -> Listener.run l) in
+    ready_line ~metrics:(Listener.port l) (Rpc.Server.port server);
+    Rpc.Server.run server;
+    Listener.stop l;
+    Domain.join d;
+    0
 
 let seed_arg = Arg.(value & opt string "e2e" & info [ "seed" ] ~doc:"Deterministic deployment seed.")
 
@@ -725,10 +833,23 @@ let port_arg =
     & info [ "port" ] ~docv:"PORT"
         ~doc:"Listen port; 0 (the default) picks an ephemeral port, printed as READY port=N.")
 
-let run_serve_pkg seed port index =
+let metrics_port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "metrics-port" ] ~docv:"PORT"
+        ~doc:
+          "Also serve the telemetry endpoints (/metrics, /metrics.json, /slo, /series) on \
+           127.0.0.1:$(docv) with this process's instance/role as constant labels. 0 picks \
+           an ephemeral port; the bound port is echoed in the READY line as metrics=M.")
+
+let run_serve_pkg seed port index metrics_port =
   run_rpc_server
-    (Servers.Pkg_server.handler (Servers.Pkg_server.create ~config:Config.test ~seed ~index))
-    port
+    ~instance:(Printf.sprintf "pkg-%d" index)
+    ~role:"pkg"
+    ~handler:
+      (Servers.Pkg_server.handler_traced (Servers.Pkg_server.create ~config:Config.test ~seed ~index))
+    ~metrics_port port
 
 let serve_pkg_cmd =
   let index =
@@ -742,13 +863,16 @@ let serve_pkg_cmd =
        ~doc:
          "Run one PKG as a framed-RPC server process (registration, commit/reveal key \
           rotation, identity-key extraction).")
-    Term.(const run_serve_pkg $ seed_arg $ port_arg $ index)
+    Term.(const run_serve_pkg $ seed_arg $ port_arg $ index $ metrics_port_arg)
 
-let run_serve_mixer seed port position =
+let run_serve_mixer seed port position metrics_port =
   run_rpc_server
-    (Servers.Mixer_server.handler
-       (Servers.Mixer_server.create ~config:Config.test ~seed ~position))
-    port
+    ~instance:(Printf.sprintf "mixer-%d" position)
+    ~role:"mixer"
+    ~handler:
+      (Servers.Mixer_server.handler_traced
+         (Servers.Mixer_server.create ~config:Config.test ~seed ~position))
+    ~metrics_port port
 
 let serve_mixer_cmd =
   let position =
@@ -764,11 +888,11 @@ let serve_mixer_cmd =
        ~doc:
          "Run one mixnet chain position as a framed-RPC server process (round key \
           announcement, unwrap/noise/shuffle).")
-    Term.(const run_serve_mixer $ seed_arg $ port_arg $ position)
+    Term.(const run_serve_mixer $ seed_arg $ port_arg $ position $ metrics_port_arg)
 
 (* -- e2e-net: multi-process deployment driver -- *)
 
-type child = { pid : int; out : in_channel; port : int }
+type child = { pid : int; out : in_channel; port : int; metrics : int (* 0 = none *) }
 
 let spawn_child args =
   let r, w = Unix.pipe () in
@@ -779,9 +903,14 @@ let spawn_child args =
   let rec wait_ready () =
     match input_line out with
     | line -> (
-      match Scanf.sscanf_opt line "READY port=%d" (fun p -> p) with
-      | Some port -> { pid; out; port }
-      | None -> wait_ready ())
+      (* the extended handshake first — sscanf happily matches the short
+         form as a prefix of the long one *)
+      match Scanf.sscanf_opt line "READY port=%d metrics=%d" (fun p m -> (p, m)) with
+      | Some (port, metrics) -> { pid; out; port; metrics }
+      | None -> (
+        match Scanf.sscanf_opt line "READY port=%d" (fun p -> p) with
+        | Some port -> { pid; out; port; metrics = 0 }
+        | None -> wait_ready ()))
     | exception End_of_file ->
       ignore (Unix.waitpid [] pid);
       failwith (Printf.sprintf "child %s exited before READY" (String.concat " " args))
@@ -824,12 +953,13 @@ let run_scenario ~register ~new_client ~add_friend ~call ~af ~dial ~rounds =
   let dial_log = List.init rounds (fun _ -> dial ()) in
   (af_log, dial_log)
 
-let run_e2e_net seed rounds faults_spec skip_verify domains =
+let run_e2e_net seed rounds faults_spec skip_verify scrape fleet_slo domains =
   apply_domains domains;
   if rounds < 2 then begin
     prerr_endline "alpenhorn: e2e-net needs --rounds >= 2 (request round + confirmation round)";
     exit 2
   end;
+  let with_metrics = scrape || fleet_slo in
   let faults =
     match faults_spec with
     | "" | "none" -> Faults.empty
@@ -844,11 +974,15 @@ let run_e2e_net seed rounds faults_spec skip_verify domains =
   let fault_view = if Faults.is_empty faults then None else Some (Faults.deployment_view faults) in
   (* spawn the anytrust deployment: one PKG + chain_length mixers, each its
      own OS process on an ephemeral localhost port *)
+  let metrics_args = if with_metrics then [ "--metrics-port"; "0" ] else [] in
   let spawn_pkg i =
-    spawn_child [ "serve-pkg"; "--seed"; seed; "--index"; string_of_int i; "--port"; "0" ]
+    spawn_child
+      ([ "serve-pkg"; "--seed"; seed; "--index"; string_of_int i; "--port"; "0" ] @ metrics_args)
   in
   let spawn_mixer i =
-    spawn_child [ "serve-mixer"; "--seed"; seed; "--position"; string_of_int i; "--port"; "0" ]
+    spawn_child
+      ([ "serve-mixer"; "--seed"; seed; "--position"; string_of_int i; "--port"; "0" ]
+      @ metrics_args)
   in
   let pkg_children = Array.init config.Config.n_pkgs spawn_pkg in
   let mixer_children = Array.init config.Config.chain_length (fun i -> ref (spawn_mixer i)) in
@@ -863,6 +997,15 @@ let run_e2e_net seed rounds faults_spec skip_verify domains =
        (List.map (fun c -> string_of_int c.port) (all_children ())));
   let finally f = Fun.protect ~finally:cleanup f in
   finally @@ fun () ->
+  (* set after the deployment exists; restart closures consult it so a
+     respawned mixer's fresh metrics port is scraped, not the dead one *)
+  let collector = ref None in
+  let repoint_collector name metrics =
+    match !collector with
+    | Some coll when metrics > 0 ->
+      Collector.set_target coll ~name (Collector.Remote { host = "127.0.0.1"; port = metrics })
+    | _ -> ()
+  in
   let mixers =
     Array.mapi
       (fun i r ->
@@ -873,6 +1016,7 @@ let run_e2e_net seed rounds faults_spec skip_verify domains =
             (fun () ->
               r := spawn_mixer i;
               Printf.printf "mixer %d respawned (pid %d, port %d)\n%!" i !r.pid !r.port;
+              repoint_collector (Printf.sprintf "mixer-%d" i) !r.metrics;
               localhost !r.port);
         })
       mixer_children
@@ -883,6 +1027,34 @@ let run_e2e_net seed rounds faults_spec skip_verify domains =
       ~mixers ()
   in
   Net_deployment.set_faults nd fault_view;
+  let coll =
+    if not with_metrics then None
+    else begin
+      (* trace every round: all span ids are minted by this tracer, and
+         servers replay carried identities, so merged snapshots stitch *)
+      Net_deployment.set_tracer nd (Some (Trace.create Tel.default));
+      let fetch ~host ~port path = Listener.fetch ~host ~port path in
+      let remote (c : child) = Collector.Remote { host = "127.0.0.1"; port = c.metrics } in
+      let insts =
+        Collector.instance ~role:"orch" ~name:"orchestrator" (Collector.Local Tel.default)
+        :: Array.to_list
+             (Array.mapi
+                (fun i c -> Collector.instance ~name:(Printf.sprintf "pkg-%d" i) (remote c))
+                pkg_children)
+        @ Array.to_list
+            (Array.mapi
+               (fun i r -> Collector.instance ~name:(Printf.sprintf "mixer-%d" i) (remote !r))
+               mixer_children)
+      in
+      let c = Collector.create ~fetch insts in
+      collector := Some c;
+      Printf.printf "scraping %d fleet instances (metrics ports %s)\n%!" (List.length insts)
+        (String.concat ", "
+           (List.map (fun c -> string_of_int c.metrics) (all_children ())));
+      Some c
+    end
+  in
+  let scrape_now () = Option.iter Collector.scrape coll in
   if fault_view <> None then
     Printf.printf "fault schedule: %s\n%!" (Faults.to_string faults);
   let net_af, net_dial =
@@ -900,6 +1072,7 @@ let run_e2e_net seed rounds faults_spec skip_verify domains =
           s.Deployment.af_round s.Deployment.requests_in s.Deployment.noise_added
           s.Deployment.af_attempts
           (pp_events (List.map (fun (w, e) -> (w, pp_af_event e)) s.Deployment.events));
+        scrape_now ();
         ( s.Deployment.af_attempts,
           List.map (fun (w, e) -> (w, pp_af_event e)) s.Deployment.events ))
       ~dial:(fun () ->
@@ -908,11 +1081,72 @@ let run_e2e_net seed rounds faults_spec skip_verify domains =
           s.Deployment.dial_round s.Deployment.tokens_in s.Deployment.dial_noise_added
           s.Deployment.dial_attempts
           (pp_events (List.map (fun (w, e) -> (w, pp_dial_event e)) s.Deployment.calls));
+        scrape_now ();
         ( s.Deployment.dial_attempts,
           List.map (fun (w, e) -> (w, pp_dial_event e)) s.Deployment.calls ))
   in
   Net_deployment.close nd;
+  (* ---- fleet observability checks (--scrape / --fleet-slo) ---- *)
+  let fleet_ok =
+    match coll with
+    | None -> true
+    | Some coll ->
+      let ok = ref true in
+      (* staleness demo: kill a mixer outright — the next scrape must mark
+         it stale (its metrics freeze, fleet.instance_up drops to 0) —
+         then respawn it and watch the scrape after that recover *)
+      let r0 = mixer_children.(0) in
+      kill_child !r0;
+      Collector.scrape coll;
+      let status_of name =
+        match List.find_opt (fun (n, _, _) -> n = name) (Collector.status coll) with
+        | Some (_, st, _) -> st
+        | None -> Collector.Never "missing"
+      in
+      (match status_of "mixer-0" with
+      | Collector.Stale reason ->
+        Printf.printf "fleet: mixer-0 went stale after kill (%s)\n%!" reason
+      | _ ->
+        prerr_endline "fleet: FAIL — killed mixer-0 did not go stale on the next scrape";
+        ok := false);
+      r0 := spawn_mixer 0;
+      repoint_collector "mixer-0" !r0.metrics;
+      Collector.scrape coll;
+      (match status_of "mixer-0" with
+      | Collector.Fresh -> Printf.printf "fleet: mixer-0 recovered after respawn\n%!"
+      | _ ->
+        prerr_endline "fleet: FAIL — respawned mixer-0 did not recover on the next scrape";
+        ok := false);
+      print_fleet_rows coll;
+      if scrape then begin
+        (* the tentpole proof: at least one stitched trace whose spans
+           were emitted by >= 3 distinct OS processes *)
+        let all = Collector.traces coll in
+        let crossing = Collector.cross_process_traces ~min_instances:3 coll in
+        Printf.printf "fleet: %d traces stitched, %d crossing >= 3 processes\n" (List.length all)
+          (List.length crossing);
+        (match crossing with
+        | (id, spans) :: _ ->
+          Printf.printf "  e.g. trace %d: %d spans across %s\n" id (List.length spans)
+            (String.concat ", " (Collector.trace_instances spans))
+        | [] ->
+          prerr_endline "fleet: FAIL — no trace crosses >= 3 processes";
+          ok := false)
+      end;
+      if fleet_slo then begin
+        let report =
+          Collector.evaluate coll (Collector.fleet_rules ~max_staleness:300.0 ())
+        in
+        Format.printf "%a@?" Slo.pp_report report;
+        if not report.Slo.healthy then begin
+          prerr_endline "fleet: FAIL — fleet SLO report unhealthy";
+          ok := false
+        end
+      end;
+      !ok
+  in
   let net_events = net_af @ net_dial in
+  let base =
   if List.for_all (fun (_, evs) -> evs = []) net_events then begin
     prerr_endline "e2e-net: FAIL — no protocol events were delivered";
     1
@@ -966,6 +1200,8 @@ let run_e2e_net seed rounds faults_spec skip_verify domains =
       1
     end
   end
+  in
+  if base = 0 && not fleet_ok then 1 else base
 
 let e2e_net_cmd =
   let rounds =
@@ -990,6 +1226,27 @@ let e2e_net_cmd =
       & info [ "skip-verify" ]
           ~doc:"Skip replaying the scenario on the in-process deployment for comparison.")
   in
+  let scrape =
+    Arg.(
+      value & flag
+      & info [ "scrape" ]
+          ~doc:
+            "Give every server process a metrics endpoint (--metrics-port 0), trace every \
+             round, scrape the whole fleet after each round with the orchestrator-side \
+             collector, and demand at least one stitched trace whose spans cross three or \
+             more OS processes. Also runs the staleness demo: a mixer is killed after the \
+             scenario, shown stale on the next scrape, then respawned and shown recovered.")
+  in
+  let fleet_slo =
+    Arg.(
+      value & flag
+      & info [ "fleet-slo" ]
+          ~doc:
+            "Evaluate fleet-wide SLO rules (zero rpc.errors across all instances, every \
+             instance up, staleness and latency ceilings) over the merged fleet snapshot \
+             and print the report; implies the scraping infrastructure. Exit 1 when \
+             unhealthy.")
+  in
   Cmd.v
     (Cmd.info "e2e-net"
        ~doc:
@@ -997,7 +1254,9 @@ let e2e_net_cmd =
           add-friend and dialing rounds over localhost TCP (killing and respawning a \
           mixer mid-round under the fault schedule), and verify the protocol results \
           match the in-process deployment byte for byte.")
-    Term.(const run_e2e_net $ seed_arg $ rounds $ faults $ skip_verify $ domains_arg)
+    Term.(
+      const run_e2e_net $ seed_arg $ rounds $ faults $ skip_verify $ scrape $ fleet_slo
+      $ domains_arg)
 
 let () =
   let doc = "Alpenhorn: metadata-private bootstrapping (OCaml reproduction)" in

@@ -58,6 +58,98 @@ let of_string ?max_payload s =
   | Frame (f, stop) when stop = String.length s -> Some f
   | Frame _ | Need_more | Corrupt _ -> None
 
+(* ---- trace envelope (DESIGN.md §14) ----
+
+   Cross-process trace propagation rides as a reserved wrapper tag, not a
+   payload suffix: a suffix inside the frame length would be ambiguous
+   against protocol bytes that happen to end in the trailer magic. A
+   traced frame is one ordinary frame whose tag is [trace_tag] and whose
+   payload is the label list (string pairs, [Fields] codec) followed by
+   the complete encoding of the inner frame. The inner bytes are exactly
+   [encode inner] — so the protocol payload an RPC handler sees is
+   byte-identical with tracing on or off, and [encode_traced ~trace:None]
+   IS [encode] (enforced by test). Trace labels never enter protocol
+   payloads; they live only in this RPC transport envelope between
+   orchestrator and servers (never inside onions or mailbox entries). *)
+
+let trace_tag = 0xfe
+
+let encode_labels labels =
+  let b = Buffer.create 64 in
+  let u32 v =
+    if v < 0 || v > 0x3fffffff then invalid_arg "Framing.encode_traced: label size";
+    Buffer.add_string b (be32 v)
+  in
+  let str s =
+    u32 (String.length s);
+    Buffer.add_string b s
+  in
+  u32 (List.length labels);
+  List.iter
+    (fun (k, v) ->
+      str k;
+      str v)
+    labels;
+  Buffer.contents b
+
+let encode_traced ?max_payload ?trace frame =
+  match trace with
+  | None -> encode ?max_payload frame
+  | Some labels ->
+    let inner = encode ?max_payload frame in
+    encode ?max_payload { tag = trace_tag; payload = encode_labels labels ^ inner }
+
+let split_traced ?max_payload (f : frame) =
+  if f.tag <> trace_tag then None
+  else begin
+    let src = f.payload in
+    let pos = ref 0 in
+    let remaining () = String.length src - !pos in
+    let get_u32 () =
+      if remaining () < 4 then None
+      else begin
+        let v = read_be32 src !pos in
+        pos := !pos + 4;
+        if v < 0 then None else Some v
+      end
+    in
+    let get_str () =
+      match get_u32 () with
+      | None -> None
+      | Some n ->
+        if n > remaining () then None
+        else begin
+          let v = String.sub src !pos n in
+          pos := !pos + n;
+          Some v
+        end
+    in
+    match get_u32 () with
+    | None -> None
+    | Some n ->
+      (* bound the pair count by the bytes present: each pair costs at
+         least its two 4-byte length prefixes *)
+      if n > remaining () / 8 then None
+      else begin
+        let rec pairs i acc =
+          if i = 0 then Some (List.rev acc)
+          else
+            match get_str () with
+            | None -> None
+            | Some k -> (
+              match get_str () with
+              | None -> None
+              | Some v -> pairs (i - 1) ((k, v) :: acc))
+        in
+        match pairs n [] with
+        | None -> None
+        | Some labels -> (
+          match of_string ?max_payload (String.sub src !pos (remaining ())) with
+          | None -> None
+          | Some inner -> if inner.tag = trace_tag then None else Some (labels, inner))
+      end
+  end
+
 (* ---- field codec for frame payloads ----
 
    The same cursor style as the rest of the tree (Persist): a writer over

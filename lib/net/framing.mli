@@ -33,6 +33,33 @@ val of_string : ?max_payload:int -> string -> frame option
 (** Total single-frame decoder: [Some] iff the input is exactly one
     well-formed frame with no trailing bytes. *)
 
+(** {1 Trace envelope (DESIGN.md §14)}
+
+    Cross-process trace propagation rides as a reserved wrapper tag: a
+    traced frame is an ordinary frame tagged {!trace_tag} whose payload
+    is a label list followed by the {e complete, unmodified} encoding of
+    the inner protocol frame. Protocol payload bytes are therefore
+    byte-identical with tracing on or off (enforced by test), and trace
+    labels exist only in the orchestrator↔server RPC transport — never
+    inside onions, friend requests or mailbox entries (the Trace privacy
+    invariant, DESIGN.md §9). *)
+
+val trace_tag : int
+(** 0xfe — reserved; protocol tags must avoid it (and {!Rpc.error_tag}
+    0xff). *)
+
+val encode_traced :
+  ?max_payload:int -> ?trace:(string * string) list -> frame -> string
+(** With [trace] absent this is exactly {!encode} — not one byte differs.
+    With [trace] present, the frame is wrapped in a {!trace_tag} envelope
+    carrying the labels. *)
+
+val split_traced : ?max_payload:int -> frame -> ((string * string) list * frame) option
+(** Unwrap a {!trace_tag} envelope into its labels and inner frame.
+    [None] when the frame is not an envelope, or the envelope is
+    malformed (truncated labels, trailing bytes, nested envelope) —
+    total, like every decoder here. *)
+
 (** Payload field codec: writers over [Buffer.t], total cursor readers. *)
 module Fields : sig
   val u8 : Buffer.t -> int -> unit

@@ -339,7 +339,16 @@ let fetch ?(timeout = 5.0) ?(host = "127.0.0.1") ~port path =
     Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
   with
   | exception Unix.Unix_error (e, _, _) ->
-    Error (Printf.sprintf "connect %s:%d: %s" host port (Unix.error_message e))
+    (* The scraper's staleness logic keys on the failure class, so name
+       it: "refused" = nothing listening (process dead), "timeout" = a
+       peer that exists but does not answer (hung, or still booting). *)
+    let klass =
+      match e with
+      | Unix.ECONNREFUSED -> "refused"
+      | Unix.ETIMEDOUT | Unix.EINPROGRESS | Unix.EAGAIN | Unix.EWOULDBLOCK -> "timeout"
+      | _ -> "error"
+    in
+    Error (Printf.sprintf "%s: connect %s:%d: %s" klass host port (Unix.error_message e))
   | () -> (
     let req = Printf.sprintf "GET %s HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n" path host in
     (* [Unix.write_substring] may send fewer bytes than asked (signal, small
@@ -350,7 +359,7 @@ let fetch ?(timeout = 5.0) ?(host = "127.0.0.1") ~port path =
         match Unix.write_substring fd req off (String.length req - off) with
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all off
         | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-          Error "write: timeout"
+          Error (Printf.sprintf "timeout: write stalled for %gs" timeout)
         | exception Unix.Unix_error (e, _, _) -> Error ("write: " ^ Unix.error_message e)
         | n -> write_all (off + n)
     in
@@ -362,7 +371,9 @@ let fetch ?(timeout = 5.0) ?(host = "127.0.0.1") ~port path =
       let rec read_all () =
         match Unix.read fd buf 0 (Bytes.length buf) with
         | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-          Error "read: timeout"
+          (* connected but silent: the accepted-then-hung case, distinct
+             from "refused" above *)
+          Error (Printf.sprintf "timeout: no response within %gs" timeout)
         | exception Unix.Unix_error (e, _, _) -> Error ("read: " ^ Unix.error_message e)
         | 0 -> Ok ()
         | n ->

@@ -80,8 +80,14 @@ val fetch :
   ?timeout:float -> ?host:string -> port:int -> string -> (int * string, string) result
 (** [fetch ~port path]: one blocking HTTP/1.1 GET against
     [host] (default ["127.0.0.1"]), returning [(status, body)].
-    [timeout] (default 5 s) bounds connect and read. [Error] carries a
-    human-readable reason (refused, timeout, malformed response). *)
+    [timeout] (default 5 s) bounds connect, write and read. The [Error]
+    string is prefixed with its failure class so callers (the fleet
+    scraper's staleness logic) can distinguish a dead process from a
+    hung one: ["refused: ..."] when nothing is listening,
+    ["timeout: ..."] when a peer exists but never answers (including a
+    server that accepts the connection and then goes silent), and
+    ["read: ..."] / ["write: ..."] / ["error: ..."] /
+    ["malformed response: ..."] otherwise. *)
 
 val url_decode : string -> string
 (** Percent-decoding with [+] as space; invalid escapes pass through

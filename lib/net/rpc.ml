@@ -16,6 +16,8 @@ module Tel = Alpenhorn_telemetry.Telemetry
 
 type handler = Framing.frame -> Framing.frame
 
+type traced_handler = trace:(string * string) list option -> Framing.frame -> Framing.frame
+
 let error_tag = 0xff
 
 let error_frame msg = { Framing.tag = error_tag; payload = msg }
@@ -29,10 +31,19 @@ module Server = struct
     mutable out_off : int;
   }
 
+  (* Per-tag telemetry handles, resolved once per tag per server: the
+     registration path (Counter.v / Histogram.v) hashes, the hit path is a
+     lone atomic or a histogram lock. *)
+  type tag_metrics = {
+    tm_calls : Tel.Counter.t;
+    tm_seconds : Tel.Histogram.t;
+    tm_bytes : Tel.Histogram.t;
+  }
+
   type t = {
     listen_fd : Unix.file_descr;
     bound_port : int;
-    handler : handler;
+    handler : traced_handler;
     max_payload : int;
     conns : (Unix.file_descr, conn) Hashtbl.t; (* loop-domain only *)
     stop_flag : bool Atomic.t;
@@ -43,10 +54,11 @@ module Server = struct
     c_calls : Tel.Counter.t;
     c_errors : Tel.Counter.t;
     g_open : Tel.Gauge.t;
+    by_tag : (int, tag_metrics) Hashtbl.t; (* loop-domain only *)
   }
 
-  let create ?(host = "127.0.0.1") ?(backlog = 16) ?(max_payload = Framing.default_max_payload)
-      ~port handler =
+  let create_traced ?(host = "127.0.0.1") ?(backlog = 16)
+      ?(max_payload = Framing.default_max_payload) ~port handler =
     let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
     Unix.setsockopt fd Unix.SO_REUSEADDR true;
     (try Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
@@ -76,9 +88,29 @@ module Server = struct
       c_calls = Tel.Counter.v reg "rpc.calls";
       c_errors = Tel.Counter.v reg "rpc.errors";
       g_open = Tel.Gauge.v reg "rpc.open_connections";
+      by_tag = Hashtbl.create 16;
     }
 
+  let create ?host ?backlog ?max_payload ~port handler =
+    create_traced ?host ?backlog ?max_payload ~port (fun ~trace:_ req -> handler req)
+
   let port t = t.bound_port
+
+  let tag_metrics t tag =
+    match Hashtbl.find_opt t.by_tag tag with
+    | Some m -> m
+    | None ->
+      let reg = Tel.default in
+      let labels = [ ("tag", Printf.sprintf "0x%02x" tag) ] in
+      let m =
+        {
+          tm_calls = Tel.Counter.v reg ~labels "rpc.call";
+          tm_seconds = Tel.Histogram.v reg ~labels "rpc.request_seconds";
+          tm_bytes = Tel.Histogram.v reg ~labels "rpc.payload_bytes";
+        }
+      in
+      Hashtbl.replace t.by_tag tag m;
+      m
 
   let close_conn t c =
     Hashtbl.remove t.conns c.fd;
@@ -95,12 +127,26 @@ module Server = struct
       match Framing.decode ~max_payload:t.max_payload data ~pos with
       | Framing.Frame (req, next) ->
         Tel.Counter.inc t.c_calls;
+        (* a trace envelope is transport framing, not protocol: unwrap it
+           here so handlers and per-tag metrics see the inner request *)
+        let trace, req =
+          if req.Framing.tag = Framing.trace_tag then
+            match Framing.split_traced ~max_payload:t.max_payload req with
+            | Some (labels, inner) -> (Some labels, inner)
+            | None -> (None, req) (* malformed envelope: dispatch as-is, handler rejects *)
+          else (None, req)
+        in
+        let m = tag_metrics t req.Framing.tag in
+        Tel.Counter.inc m.tm_calls;
+        Tel.Histogram.observe m.tm_bytes (float_of_int (String.length req.Framing.payload));
+        let t0 = Unix.gettimeofday () in
         let resp =
-          try t.handler req
+          try t.handler ~trace req
           with e ->
             Tel.Counter.inc t.c_errors;
             error_frame (Printexc.to_string e)
         in
+        Tel.Histogram.observe m.tm_seconds (Unix.gettimeofday () -. t0);
         Buffer.add_string responses (Framing.encode ~max_payload:t.max_payload resp);
         go next
       | Framing.Need_more -> `Keep_from pos
@@ -232,6 +278,7 @@ module Client = struct
     max_payload : int;
     inbuf : Buffer.t;
     mutable closed : bool;
+    mutable trace : (string * string) list option; (* consumed by the next call *)
   }
 
   let connect ?(timeout = 5.0) ?(max_payload = Framing.default_max_payload)
@@ -245,7 +292,9 @@ module Client = struct
     | exception Unix.Unix_error (e, _, _) ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
       Error (Printf.sprintf "connect %s:%d: %s" host port (Unix.error_message e))
-    | () -> Ok { fd; max_payload; inbuf = Buffer.create 256; closed = false }
+    | () -> Ok { fd; max_payload; inbuf = Buffer.create 256; closed = false; trace = None }
+
+  let set_trace t labels = t.trace <- labels
 
   let close t =
     if not t.closed then begin
@@ -294,8 +343,11 @@ module Client = struct
 
   let call t frame =
     if t.closed then Error "call on closed connection"
-    else
-      match write_all t (Framing.encode ~max_payload:t.max_payload frame) with
+    else begin
+      let trace = t.trace in
+      t.trace <- None;
+      match write_all t (Framing.encode_traced ~max_payload:t.max_payload ?trace frame) with
       | Error _ as e -> e
       | Ok () -> read_frame t
+    end
 end

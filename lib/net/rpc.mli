@@ -17,6 +17,12 @@
 
 type handler = Framing.frame -> Framing.frame
 
+type traced_handler = trace:(string * string) list option -> Framing.frame -> Framing.frame
+(** A handler that also receives the trace labels carried by a
+    {!Framing.trace_tag} envelope, when the request arrived in one. The
+    frame it sees is always the inner protocol frame — byte-identical
+    whether or not an envelope was present. *)
+
 val error_tag : int
 (** 0xff — response tag for handler failures; the payload is the error
     message. *)
@@ -31,6 +37,12 @@ module Server : sig
   (** Bind and listen (non-blocking). [~port:0] picks an ephemeral port;
       read it back with {!port}. [host] defaults to localhost.
       @raise Unix.Unix_error when the bind fails. *)
+
+  val create_traced :
+    ?host:string -> ?backlog:int -> ?max_payload:int -> port:int -> traced_handler -> t
+  (** Like {!create}, but the handler sees the trace labels of
+      enveloped requests ([trace = None] for plain ones). {!create} is
+      [create_traced] ignoring the labels. *)
 
   val port : t -> int
 
@@ -59,6 +71,12 @@ module Client : sig
     (t, string) result
   (** TCP connect with [timeout] (default 5s) applied to every subsequent
       read and write on the connection. *)
+
+  val set_trace : t -> (string * string) list option -> unit
+  (** Arm (or disarm) the trace labels for the {e next} {!call} only: the
+      call wraps its request in a {!Framing.trace_tag} envelope and
+      clears the armament, so an untraced caller path never pays for
+      tracing and protocol payload bytes are never touched. *)
 
   val call : t -> Framing.frame -> (Framing.frame, string) result
   (** Send one request frame, block for the one response frame. Partial

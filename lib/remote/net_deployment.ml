@@ -35,6 +35,8 @@ module Mailbox = Alpenhorn_mixnet.Mailbox
 module Bloom = Alpenhorn_bloom.Bloom
 module Rpc = Alpenhorn_net.Rpc
 module Events = Alpenhorn_telemetry.Events
+module Tel = Alpenhorn_telemetry.Telemetry
+module Trace = Alpenhorn_telemetry.Trace
 
 type endpoint = { host : string; port : int }
 
@@ -60,6 +62,8 @@ type t = {
   mutable clock : int;
   mutable faults : Deployment.fault_view option;
   mutable policy : Client.retry_policy;
+  mutable tracer : Trace.t option;
+  mutable round_ctx : Trace.ctx option; (* root ctx of the round in flight *)
 }
 
 exception Aborted of int
@@ -89,6 +93,8 @@ let create ?(call_timeout = 10.0) ~config ~seed ~pkgs ~mixers () =
     clock = 0;
     faults = None;
     policy = Client.default_retry_policy;
+    tracer = None;
+    round_ctx = None;
   }
 
 let config t = t.config
@@ -100,6 +106,67 @@ let dialing_round_number t = t.dial_round
 let set_faults t fv = t.faults <- fv
 let set_retry_policy t p = t.policy <- p
 let retry_policy t = t.policy
+let set_tracer t tr = t.tracer <- tr
+
+(* ---- cross-process trace propagation (DESIGN.md §14) ----
+
+   The orchestrator's tracer mints every span id in the fleet. Each RPC
+   under a traced round gets two child contexts: [call_ctx] names the
+   client-side "rpc.call" span, and [wire_ctx] (its child) rides the
+   frame envelope to the server, which emits its handler span under that
+   identity verbatim. Merged fleet snapshots therefore stitch
+   client → server spans into one timeline with correct parentage.
+   Contexts never touch protocol payloads — only the RPC envelope — so
+   onions and mailbox entries stay byte-identical (§9 invariant). *)
+
+let traced_rpc t ~peer c f =
+  match (t.tracer, t.round_ctx) with
+  | Some tr, Some ctx ->
+    let call_ctx = Trace.child tr ctx in
+    let wire_ctx = Trace.child tr call_ctx in
+    Rpc.Client.set_trace c (Some (Trace.labels_of wire_ctx));
+    let reg = Trace.registry tr in
+    let t0 = Tel.now reg in
+    let finish () =
+      Trace.emit tr call_ctx
+        ~labels:[ ("peer", peer) ]
+        ~name:"rpc.call" ~ts:t0
+        ~dur:(Tel.now reg -. t0)
+        ()
+    in
+    (match f c with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e)
+  | _ -> f c
+
+(* A child span of the round for orchestrator-local work (mailbox
+   distribution). *)
+let traced_local t ~name f =
+  match (t.tracer, t.round_ctx) with
+  | Some tr, Some ctx -> Trace.with_ tr (Trace.child tr ctx) name f
+  | _ -> f ()
+
+(* The per-round root span: sample one context for the whole round
+   (retries included) and run [f] under it as "net.round". *)
+let with_round_trace t ~phase ~round f =
+  match t.tracer with
+  | None -> f ()
+  | Some tr ->
+    let ctx = Trace.sample tr in
+    t.round_ctx <- ctx;
+    Fun.protect
+      ~finally:(fun () -> t.round_ctx <- None)
+      (fun () ->
+        match ctx with
+        | None -> f ()
+        | Some ctx ->
+          Trace.with_ tr ctx
+            ~labels:[ ("phase", phase); ("round", string_of_int round) ]
+            "net.round" f)
 
 (* ---- connection cache ---- *)
 
@@ -135,7 +202,7 @@ let pkg_call t i f =
   match conn t ep with
   | Error m -> failwith (Printf.sprintf "pkg %d: %s" i m)
   | Ok c -> (
-    match f c with
+    match traced_rpc t ~peer:(Printf.sprintf "pkg-%d" i) c f with
     | Ok v -> v
     | Error m ->
       drop_conn t ep;
@@ -149,7 +216,7 @@ let mixer_call t i f =
     drop_conn t ep;
     raise (Aborted i)
   | Ok c -> (
-    match f c with
+    match traced_rpc t ~peer:(Printf.sprintf "mixer-%d" i) c f with
     | Ok v -> v
     | Error _ ->
       drop_conn t ep;
@@ -332,7 +399,10 @@ let run_chain t ~chain ~mode ~noise_mu ~laplace_b ~num_mailboxes ~mpk_agg ~serve
   Array.iteri
     (fun i _ -> mixer_call t i (fun c -> Proto.mix_end_round c ~chain))
     t.mixers;
-  let mailboxes, dropped = Mailbox.distribute ~num_mailboxes ~mode !current in
+  let mailboxes, dropped =
+    traced_local t ~name:"mailbox.publish" (fun () ->
+        Mailbox.distribute ~num_mailboxes ~mode !current)
+  in
   (mailboxes, !total_noise, dropped)
 
 (* ---- add-friend round (Algorithm 1 over the wire) ---- *)
@@ -427,10 +497,11 @@ let run_addfriend_round t ?participants () =
     }
   in
   let stats, attempts =
-    with_recovery t ~phase:"addfriend" ~round ~chain:Proto.Af ~clients
-      ~cleanup:(fun () ->
-        Array.iteri (fun i _ -> pkg_call t i (fun c -> Proto.pkg_end_round c ~round)) t.pkg_eps)
-      body
+    with_round_trace t ~phase:"addfriend" ~round (fun () ->
+        with_recovery t ~phase:"addfriend" ~round ~chain:Proto.Af ~clients
+          ~cleanup:(fun () ->
+            Array.iteri (fun i _ -> pkg_call t i (fun c -> Proto.pkg_end_round c ~round)) t.pkg_eps)
+          body)
   in
   { stats with Deployment.af_attempts = attempts }
 
@@ -510,7 +581,10 @@ let run_dialing_round t ?participants () =
     }
   in
   let stats, attempts =
-    with_recovery t ~phase:"dialing" ~round ~chain:Proto.Dial ~clients ~cleanup:(fun () -> ()) body
+    with_round_trace t ~phase:"dialing" ~round (fun () ->
+        with_recovery t ~phase:"dialing" ~round ~chain:Proto.Dial ~clients
+          ~cleanup:(fun () -> ())
+          body)
   in
   { stats with Deployment.dial_attempts = attempts; calls = recovered @ stats.Deployment.calls }
 

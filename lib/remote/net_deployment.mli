@@ -65,6 +65,17 @@ val set_faults : t -> Deployment.fault_view option -> unit
 val set_retry_policy : t -> Client.retry_policy -> unit
 val retry_policy : t -> Client.retry_policy
 
+val set_tracer : t -> Alpenhorn_telemetry.Trace.t option -> unit
+(** Attach a tracer (default none): each round then runs under a root
+    [net.round] span, every RPC emits a client-side [rpc.call] span and
+    carries a child context to the server on the frame envelope
+    ({!Alpenhorn_net.Framing.encode_traced}), and mailbox distribution is
+    a [mailbox.publish] child span — so the fleet collector stitches one
+    cross-process timeline per round. All span ids are minted here, on
+    the orchestrator; servers replay carried identities verbatim.
+    Contexts ride only the RPC envelope, never protocol payloads
+    (DESIGN.md §9/§14). *)
+
 val pkg_public_keys : t -> Alpenhorn_bls.Bls.public list
 (** Fetched over RPC ({!Proto.pkg_info}), then treated as pre-distributed
     (§3.3). *)

@@ -41,6 +41,24 @@ let tag_mix_process = 0x22
 let tag_mix_end_round = 0x23
 let tag_mix_ping = 0x24
 
+(* span names for server-side tracing: the same vocabulary the fleet
+   trace timelines print, so a stitched trace reads as protocol steps *)
+let tag_name tag =
+  if tag = tag_pkg_info then "pkg.info"
+  else if tag = tag_pkg_register then "pkg.register"
+  else if tag = tag_pkg_inbox then "pkg.inbox"
+  else if tag = tag_pkg_confirm then "pkg.confirm"
+  else if tag = tag_pkg_begin_round then "pkg.begin_round"
+  else if tag = tag_pkg_reveal then "pkg.reveal"
+  else if tag = tag_pkg_extract then "pkg.extract"
+  else if tag = tag_pkg_end_round then "pkg.end_round"
+  else if tag = tag_mix_info then "mix.info"
+  else if tag = tag_mix_new_round then "mix.new_round"
+  else if tag = tag_mix_process then "mix.process"
+  else if tag = tag_mix_end_round then "mix.end_round"
+  else if tag = tag_mix_ping then "mix.ping"
+  else Printf.sprintf "rpc.0x%02x" tag
+
 type chain = Af | Dial
 
 let chain_byte = function Af -> 0 | Dial -> 1

@@ -39,6 +39,12 @@ val tag_mix_process : int
 val tag_mix_end_round : int
 val tag_mix_ping : int
 
+val tag_name : int -> string
+(** Human-readable span name for a request tag ([0x16] → ["pkg.extract"],
+    [0x22] → ["mix.process"]); unknown tags render as ["rpc.0xNN"]. The
+    traced server handlers name their spans with this, so a stitched
+    cross-process trace reads as protocol steps. *)
+
 (** A mixer process hosts one chain position of {e both} mixnet chains;
     requests select which. *)
 type chain = Af | Dial

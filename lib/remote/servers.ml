@@ -26,7 +26,36 @@ module Config = Alpenhorn_core.Config
 
 let root_rng ~seed = Drbg.create ~seed:("deployment" ^ seed)
 
+module Tel = Alpenhorn_telemetry.Telemetry
+
 let malformed () = failwith "malformed request"
+
+(* Trace propagation (DESIGN.md §14): when the RPC envelope carried
+   trace labels, time the handler and emit one span under those labels
+   verbatim. Span ids are minted only by the orchestrator's tracer — a
+   server never mints, it replays the carried identity — so spans
+   emitted by every process of the fleet stitch into one timeline when
+   the collector merges their snapshots. Emitted even when the handler
+   raises: a failed protocol step still shows up in its trace. *)
+let traced handler ~trace (request : Framing.frame) =
+  match trace with
+  | None -> handler request
+  | Some labels ->
+    let t0 = Tel.now Tel.default in
+    let finish () =
+      Tel.Span.emit Tel.default ~labels
+        ~name:(Proto.tag_name request.Framing.tag)
+        ~ts:t0
+        ~dur:(Tel.now Tel.default -. t0)
+        ()
+    in
+    (match handler request with
+    | resp ->
+      finish ();
+      resp
+    | exception e ->
+      finish ();
+      raise e)
 
 let expect_done c v = if F.finished c then v else malformed ()
 
@@ -136,6 +165,8 @@ module Pkg_server = struct
       Proto.respond tag (Ok (fun _ -> ()))
     end
     else failwith (Printf.sprintf "unknown PKG request tag 0x%02x" tag)
+
+  let handler_traced t = traced (handler t)
 end
 
 (* ---- mixer process ---- *)
@@ -256,4 +287,6 @@ module Mixer_server = struct
       Proto.respond tag (Ok (fun _ -> ()))
     end
     else failwith (Printf.sprintf "unknown mixer request tag 0x%02x" tag)
+
+  let handler_traced t = traced (handler t)
 end

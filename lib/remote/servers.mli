@@ -28,6 +28,13 @@ module Pkg_server : sig
   val handler : t -> Framing.frame -> Framing.frame
   (** Raises [Failure] on malformed or unknown requests; {!Alpenhorn_net.Rpc}
       turns that into an error frame. *)
+
+  val handler_traced : t -> trace:(string * string) list option -> Framing.frame -> Framing.frame
+  (** {!handler}, plus one span per traced request: when the RPC envelope
+      carried trace labels, the handler is timed and a span named by
+      {!Proto.tag_name} is emitted on {!Alpenhorn_telemetry.Telemetry.default}
+      under those labels verbatim (span identity is minted only by the
+      orchestrator). Shaped for {!Alpenhorn_net.Rpc.Server.create_traced}. *)
 end
 
 (** One chain position of {e both} mixnet chains (add-friend and dialing),
@@ -40,4 +47,7 @@ module Mixer_server : sig
       chain length. *)
 
   val handler : t -> Framing.frame -> Framing.frame
+
+  val handler_traced : t -> trace:(string * string) list option -> Framing.frame -> Framing.frame
+  (** As {!Pkg_server.handler_traced}. *)
 end

@@ -70,7 +70,14 @@ let add_type b name kind seen =
     Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name kind)
   end
 
-let metrics_text (snap : Tel.Snapshot.t) =
+let metrics_text ?(labels = []) (snap : Tel.Snapshot.t) =
+  (* [labels] are constant per-process labels (instance, role): they go
+     inside the braces ahead of each metric's own labels, so one fleet
+     scrape config distinguishes every process. A name collision keeps
+     the metric's own label (more specific wins). *)
+  let merge own = labels |> List.filter (fun (k, _) -> not (List.mem_assoc k own)) |> fun c -> c @ own in
+  let render_labels own = render_labels (merge own) in
+  let render_labels_with own extra = render_labels_with (merge own) extra in
   let b = Buffer.create 4096 in
   let seen = Hashtbl.create 64 in
   List.iter
@@ -123,10 +130,12 @@ type config = {
   series : Timeseries.t option;
   slo_rules : Slo.rule list;
   runtime : Runtime_stats.t option;
+  labels : (string * string) list;
 }
 
-let config ?(registry = Tel.default) ?series ?(slo_rules = Slo.default_rules ()) ?runtime () =
-  { registry; series; slo_rules; runtime }
+let config ?(registry = Tel.default) ?series ?(slo_rules = Slo.default_rules ()) ?runtime
+    ?(labels = []) () =
+  { registry; series; slo_rules; runtime; labels }
 
 let text_response status body = { status; content_type = "text/plain; charset=utf-8"; body }
 let json_response status body = { status; content_type = "application/json"; body }
@@ -204,10 +213,24 @@ let handle cfg ~meth ~path ~query () =
     | "/" | "/index" -> text_response 200 index_body
     | "/metrics" ->
       let snap = Tel.Snapshot.take cfg.registry in
-      { status = 200; content_type = prom_content_type; body = metrics_text snap }
+      { status = 200; content_type = prom_content_type; body = metrics_text ~labels:cfg.labels snap }
     | "/metrics.json" ->
       let snap = Tel.Snapshot.take cfg.registry in
-      json_response 200 (Tel.Snapshot.to_json snap)
+      let body = Tel.Snapshot.to_json snap in
+      (* constant labels ride in a wrapper, never inside the snapshot:
+         Timeseries.record_json and the fleet collector both unwrap the
+         "telemetry" member *)
+      let body =
+        if cfg.labels = [] then body
+        else
+          Printf.sprintf "{\"labels\":{%s},\"telemetry\":%s}"
+            (String.concat ","
+               (List.map
+                  (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+                  cfg.labels))
+            body
+      in
+      json_response 200 body
     | "/slo" ->
       let snap = Tel.Snapshot.take cfg.registry in
       let report = Slo.evaluate cfg.slo_rules snap in

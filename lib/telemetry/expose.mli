@@ -37,12 +37,17 @@ val config :
   ?series:Timeseries.t ->
   ?slo_rules:Slo.rule list ->
   ?runtime:Runtime_stats.t ->
+  ?labels:(string * string) list ->
   unit ->
   config
 (** [registry] defaults to {!Telemetry.default}; [slo_rules] to
     {!Slo.default_rules}[ ()]; [series] and [runtime] to absent
     ([/series] then answers 404, and scrapes do not sample the
-    runtime). *)
+    runtime). [labels] (default none) are constant per-process labels —
+    e.g. [instance]/[role] on a fleet member — merged into every
+    [/metrics] sample (a metric's own label of the same name wins) and
+    wrapped around [/metrics.json] as
+    [{"labels":{...},"telemetry":<snapshot>}]. *)
 
 val handle :
   config -> meth:string -> path:string -> query:(string * string) list -> unit -> response
@@ -60,6 +65,8 @@ val escape_label_value : string -> string
 (** The three exposition-format escapes: backslash, double quote,
     newline. *)
 
-val metrics_text : Telemetry.Snapshot.t -> string
+val metrics_text : ?labels:(string * string) list -> Telemetry.Snapshot.t -> string
 (** A full snapshot in text exposition format 0.0.4 (the [/metrics]
-    body). *)
+    body). [labels] are constant labels rendered inside every sample's
+    braces, ahead of the metric's own labels; on a name collision the
+    metric's own label wins. *)

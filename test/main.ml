@@ -34,4 +34,5 @@ let () =
       ("robustness", Test_robustness.suite);
       ("faults", Test_faults.suite);
       ("ledger", Test_ledger.suite);
+      ("collector", Test_collector.suite);
     ]

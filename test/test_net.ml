@@ -111,6 +111,154 @@ let framing_tests =
           (F.Fields.get_str (F.Fields.cursor "\x00\x00\x00\x09abc") = None));
   ]
 
+(* ---------- trace envelope (DESIGN.md §14) ---------- *)
+
+module Tel = Alpenhorn_telemetry.Telemetry
+
+let has_prefix p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let trace_envelope_tests =
+  [
+    Alcotest.test_case "envelope roundtrip; absent trace is byte-identical" `Quick (fun () ->
+        let frames =
+          [
+            { F.tag = 0; payload = "" };
+            { F.tag = 0x22; payload = String.init 257 (fun i -> Char.chr (i land 0xff)) };
+            { F.tag = 255; payload = "x" };
+          ]
+        in
+        (* the acceptance-criteria identity: no trace, no byte changes *)
+        List.iter
+          (fun f ->
+            Alcotest.(check string) "encode_traced ~trace:None = encode" (F.encode f)
+              (F.encode_traced f))
+          frames;
+        let labels = [ ("parent", "3"); ("trace", "7"); ("span", "9"); ("empty", "") ] in
+        List.iter
+          (fun f ->
+            let wire = F.encode_traced ~trace:labels f in
+            match F.of_string wire with
+            | None -> Alcotest.fail "envelope did not decode as a frame"
+            | Some env ->
+              Alcotest.(check int) "wrapper tag" F.trace_tag env.F.tag;
+              (* the inner bytes are exactly [encode f]: the protocol
+                 payload a handler sees cannot depend on tracing *)
+              let enc = F.encode f in
+              let tail =
+                String.sub env.F.payload
+                  (String.length env.F.payload - String.length enc)
+                  (String.length enc)
+              in
+              Alcotest.(check string) "inner encoding rides verbatim" enc tail;
+              (match F.split_traced env with
+              | None -> Alcotest.fail "split_traced rejected a valid envelope"
+              | Some (got_labels, inner) ->
+                Alcotest.(check bool) "labels" true (got_labels = labels);
+                Alcotest.check frame "inner frame" f inner))
+          frames);
+    Alcotest.test_case "envelope rejects non-envelopes, truncation, nesting" `Quick (fun () ->
+        (* a plain frame is not an envelope *)
+        Alcotest.(check bool) "plain frame" true
+          (F.split_traced { F.tag = 0x22; payload = "data" } = None);
+        (* count claims one pair, zero bytes follow *)
+        Alcotest.(check bool) "truncated labels" true
+          (F.split_traced { F.tag = F.trace_tag; payload = "\x00\x00\x00\x01" } = None);
+        (* labels parse but no inner frame follows *)
+        Alcotest.(check bool) "no inner frame" true
+          (F.split_traced { F.tag = F.trace_tag; payload = "\x00\x00\x00\x00" } = None);
+        (* hostile pair count bounded by remaining bytes, no allocation *)
+        Alcotest.(check bool) "hostile count" true
+          (F.split_traced { F.tag = F.trace_tag; payload = "\x3f\xff\xff\xff" } = None);
+        (* an envelope inside an envelope is rejected, not recursed *)
+        let nested =
+          F.encode_traced ~trace:[ ("trace", "1"); ("span", "2") ]
+            { F.tag = F.trace_tag; payload = "inner-envelope" }
+        in
+        match F.of_string nested with
+        | None -> Alcotest.fail "nested envelope did not decode"
+        | Some env -> Alcotest.(check bool) "nested rejected" true (F.split_traced env = None));
+    Alcotest.test_case "rpc: labels cross the socket, payload identical, one-shot" `Quick
+      (fun () ->
+        let seen = Atomic.make [] in
+        let srv =
+          Rpc.Server.create_traced ~port:0 (fun ~trace req ->
+              Atomic.set seen (Atomic.get seen @ [ (trace, req.F.payload) ]);
+              { F.tag = req.F.tag; payload = "ok" })
+        in
+        let port = Rpc.Server.port srv in
+        let dom = Domain.spawn (fun () -> Rpc.Server.run srv) in
+        Fun.protect
+          ~finally:(fun () ->
+            Rpc.Server.stop srv;
+            Domain.join dom)
+          (fun () ->
+            match Rpc.Client.connect ~port () with
+            | Error e -> Alcotest.failf "connect: %s" e
+            | Ok c ->
+              Fun.protect
+                ~finally:(fun () -> Rpc.Client.close c)
+                (fun () ->
+                  let labels = [ ("trace", "42"); ("span", "7") ] in
+                  let f = { F.tag = 0x2a; payload = "protocol-bytes" } in
+                  Rpc.Client.set_trace c (Some labels);
+                  (match Rpc.Client.call c f with
+                  | Ok r -> Alcotest.(check int) "traced reply tag" 0x2a r.F.tag
+                  | Error e -> Alcotest.failf "traced call: %s" e);
+                  (* set_trace arms exactly one call *)
+                  (match Rpc.Client.call c f with
+                  | Ok _ -> ()
+                  | Error e -> Alcotest.failf "untraced call: %s" e);
+                  (match Atomic.get seen with
+                  | [ (Some l1, p1); (None, p2) ] ->
+                    Alcotest.(check bool) "labels delivered" true (l1 = labels);
+                    (* the handler's payload bytes are identical with
+                       tracing on and off *)
+                    Alcotest.(check string) "traced payload" "protocol-bytes" p1;
+                    Alcotest.(check string) "untraced payload" "protocol-bytes" p2
+                  | l -> Alcotest.failf "expected 2 handler calls, saw %d" (List.length l));
+                  (* satellite: per-tag rpc telemetry on the default registry *)
+                  let snap = Tel.Snapshot.take Tel.default in
+                  let tag_labels = [ ("tag", "0x2a") ] in
+                  (match Tel.Snapshot.find_counter snap ~labels:tag_labels "rpc.call" with
+                  | Some n -> Alcotest.(check bool) "rpc.call{tag} counted" true (n >= 2)
+                  | None -> Alcotest.fail "rpc.call{tag=0x2a} missing");
+                  let hist name =
+                    List.exists
+                      (fun (n, l, (h : Tel.Histogram.snap)) ->
+                        n = name && l = tag_labels && h.Tel.Histogram.count >= 2)
+                      snap.Tel.Snapshot.histograms
+                  in
+                  Alcotest.(check bool) "rpc.request_seconds{tag}" true (hist "rpc.request_seconds");
+                  Alcotest.(check bool) "rpc.payload_bytes{tag}" true (hist "rpc.payload_bytes"))));
+    Alcotest.test_case "fetch error classes: refused vs accept-then-silent" `Quick (fun () ->
+        (* a port nothing listens on: bind, read the port back, close *)
+        let probe = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.bind probe (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+        let dead_port =
+          match Unix.getsockname probe with Unix.ADDR_INET (_, p) -> p | _ -> assert false
+        in
+        Unix.close probe;
+        (match Listener.fetch ~timeout:2.0 ~port:dead_port "/metrics" with
+        | Ok _ -> Alcotest.fail "fetch to a dead port succeeded"
+        | Error e -> Alcotest.(check bool) ("refused prefix: " ^ e) true (has_prefix "refused:" e));
+        (* a server that accepts (kernel backlog) and then never responds:
+           the error must be classed a timeout, not a read failure *)
+        let silent = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt silent Unix.SO_REUSEADDR true;
+        Unix.bind silent (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+        Unix.listen silent 4;
+        let silent_port =
+          match Unix.getsockname silent with Unix.ADDR_INET (_, p) -> p | _ -> assert false
+        in
+        Fun.protect
+          ~finally:(fun () -> Unix.close silent)
+          (fun () ->
+            match Listener.fetch ~timeout:0.4 ~port:silent_port "/metrics" with
+            | Ok _ -> Alcotest.fail "fetch to a silent server succeeded"
+            | Error e ->
+              Alcotest.(check bool) ("timeout prefix: " ^ e) true (has_prefix "timeout:" e)));
+  ]
+
 (* ---------- rpc over real sockets ---------- *)
 
 let rpc_tests =
