@@ -5,6 +5,7 @@ module Costmodel = Alpenhorn_sim.Costmodel
 module Workload = Alpenhorn_sim.Workload
 module Stats = Alpenhorn_sim.Stats
 module Zipf = Alpenhorn_sim.Zipf
+module Round_sim = Alpenhorn_sim.Round_sim
 module Bloom = Alpenhorn_bloom.Bloom
 module Drbg = Alpenhorn_crypto.Drbg
 open Bench_util
@@ -182,3 +183,103 @@ let skewsize pc =
         ])
     [ 0.0; 2.0 ];
   print_endline "paper reference at s=2: filters 231 KB-1.39 MB, latency 119-120 s."
+
+(* Full-scale cross-check (DESIGN.md §15): every §8.3 figure evaluated at
+   1M users in one table, plus the sharded §5.1 download the scale path
+   adds — the row `bench scale` measures for real with synthetic tokens. *)
+let figscale pc =
+  header "Full scale: Figures 6-10 at 1M users, with the sharded download model";
+  let machine = Costmodel.paper_machine in
+  let n_users = 1_000_000 in
+  row [ pad 34 "figure"; padl 14 "value"; padl 26 "setting" ];
+  let af_bw =
+    Costmodel.addfriend_bandwidth pc ~n_users ~n_servers:3 ~noise_mu:4000.0 ~active_fraction:0.05
+      ~round_seconds:3600.0
+  in
+  row
+    [
+      pad 34 "fig 6: add-friend bandwidth"; padl 14 (Printf.sprintf "%.3f KB/s" (af_bw /. 1000.0));
+      padl 26 "1 h rounds, 3 servers";
+    ];
+  let dial_bw =
+    Costmodel.dialing_bandwidth pc ~n_users ~n_servers:3 ~noise_mu:25000.0 ~active_fraction:0.05
+      ~round_seconds:300.0
+  in
+  row
+    [
+      pad 34 "fig 7: dialing bandwidth"; padl 14 (Printf.sprintf "%.2f KB/s" (dial_bw /. 1000.0));
+      padl 26 "5 min rounds, 3 servers";
+    ];
+  let af_lat =
+    (Costmodel.addfriend_round machine pc ~n_users ~n_servers:3 ~noise_mu:4000.0
+       ~active_fraction:0.05 ())
+      .Costmodel.total_seconds
+  in
+  row
+    [
+      pad 34 "fig 8: add-friend latency"; padl 14 (Printf.sprintf "%.1f s" af_lat);
+      padl 26 "paper-calibrated machine";
+    ];
+  let dial_lat =
+    (Costmodel.dialing_round machine pc ~n_users ~n_servers:3 ~noise_mu:25000.0
+       ~active_fraction:0.05 ~friends:1000 ~intents:10 ())
+      .Costmodel.total_seconds
+  in
+  row
+    [
+      pad 34 "fig 9: dialing latency"; padl 14 (Printf.sprintf "%.1f s" dial_lat);
+      padl 26 "paper-calibrated machine";
+    ];
+  (* fig 10 shape at 1M: the skewed median must stay flat vs the uniform row *)
+  let median s =
+    let spec =
+      {
+        Workload.n_users;
+        active_fraction = 0.05;
+        recipient_skew = s;
+        noise_mu = 4000.0;
+        laplace_b = 0.0;
+        chain_length = 3;
+      }
+    in
+    let rng = Drbg.create ~seed:(Printf.sprintf "figscale-%.2f" s) in
+    let load = Workload.generate spec rng in
+    let totals = Workload.total load in
+    let lat m =
+      (Costmodel.addfriend_round machine pc ~n_users ~n_servers:3 ~noise_mu:4000.0
+         ~active_fraction:0.05 ~mailbox_requests:totals.(m) ())
+        .Costmodel.total_seconds
+    in
+    let weighted =
+      Array.mapi (fun m n -> (lat m, float_of_int n)) load.Workload.real
+    in
+    Stats.weighted_percentile weighted 50.0
+  in
+  let m0 = median 0.0 and m2 = median 2.0 in
+  row
+    [
+      pad 34 "fig 10: median latency, s=0 vs s=2";
+      padl 14 (Printf.sprintf "%.1f / %.1f s" m0 m2);
+      padl 26 "median must stay flat";
+    ];
+  (* the sharded §5.1 variant on the DES replay: shard download instead of
+     one mailbox, scale.* gauges set for the SLO rules *)
+  let tl =
+    Round_sim.dialing machine ~num_shards:16 pc ~n_users ~n_servers:3 ~noise_mu:25000.0
+      ~active_fraction:0.05 ~friends:1000 ~intents:10 ~chunks:1
+  in
+  let snap = Alpenhorn_telemetry.Telemetry.Snapshot.take Alpenhorn_telemetry.Telemetry.default in
+  let shard_bytes =
+    List.fold_left
+      (fun acc (n, _, v) -> if n = "scale.bytes_per_client" then v else acc)
+      0.0 snap.Alpenhorn_telemetry.Telemetry.Snapshot.gauges
+  in
+  row
+    [
+      pad 34 "fig 9 + §5.1 sharding: dialing";
+      padl 14 (Printf.sprintf "%.1f s" tl.Round_sim.client_done);
+      padl 26 (Printf.sprintf "16 shards, %s/client" (human_bytes (int_of_float shard_bytes)));
+    ];
+  print_endline "all five figures priced at 1M users by the same calibrated model the per-figure";
+  print_endline "sections sweep; the sharded row replays the round on the DES engine with the";
+  print_endline "client downloading its contiguous-range shard (bench scale measures it for real)."

@@ -1,0 +1,67 @@
+(* Million-user scale suite (`bench scale`, DESIGN.md §15): one sharded
+   synthetic dialing round at 100k / 500k / 1M clients, with the per-client
+   memory budget and Bloom correctness asserted — a breach exits nonzero so
+   CI can gate on it. The machine-readable line at the end is transcribed
+   into BENCH_scale.json for the @bench-diff perf gate. *)
+
+module Scale = Alpenhorn_sim.Scale
+open Bench_util
+
+let points = [ 100_000; 500_000; 1_000_000 ]
+
+let scale () =
+  header "Scale: sharded dialing rounds with flat round state (synthetic tokens)";
+  row
+    [
+      pad 10 "clients"; padl 8 "shards"; padl 8 "tokens"; padl 10 "round"; padl 12 "download";
+      padl 14 "words/client"; padl 12 "writer peak"; padl 14 "scan";
+    ];
+  let machine = Buffer.create 256 in
+  let mem = Buffer.create 256 in
+  Buffer.add_string machine "{\"after\":{";
+  Buffer.add_string mem "\"mem\":{";
+  List.iteri
+    (fun i n ->
+      let r = Scale.run ~clients:n () in
+      row
+        [
+          pad 10 (si n);
+          padl 8 (string_of_int r.Scale.shards);
+          padl 8 (si r.Scale.tokens);
+          padl 10 (Printf.sprintf "%.2f s" r.Scale.round_seconds);
+          padl 12 (human_bytes r.Scale.bytes_per_client);
+          padl 14 (Printf.sprintf "%.1f w" r.Scale.words_per_client);
+          padl 12 (human_bytes r.Scale.writer_peak_bytes);
+          padl 14
+            (Printf.sprintf "%d/%d (%d fp)" r.Scale.scan_hits r.Scale.scan_dialed
+               r.Scale.scan_false_positives);
+        ];
+      if not (Scale.within_budget r) then begin
+        Printf.eprintf
+          "FAIL: %d clients peaked at %d heap words, over the %d-word budget (%d slack + %d/client)\n"
+          n r.Scale.peak_words
+          (Scale.budget_words ~clients:n)
+          Scale.budget_slack_words Scale.budget_per_client_words;
+        exit 1
+      end;
+      if r.Scale.scan_hits <> r.Scale.scan_dialed then begin
+        Printf.eprintf "FAIL: %d clients: %d of %d dialed clients missed their token\n" n
+          (r.Scale.scan_dialed - r.Scale.scan_hits)
+          r.Scale.scan_dialed;
+        exit 1
+      end;
+      let sep = if i = 0 then "" else "," in
+      Buffer.add_string machine
+        (Printf.sprintf "%s\"scale_%d_round_s\":%.3f,\"scale_%d_bytes_per_client\":%d" sep n
+           r.Scale.round_seconds n r.Scale.bytes_per_client);
+      Buffer.add_string mem
+        (Printf.sprintf "%s\"scale_%d_words_per_client\":%.1f,\"scale_%d_writer_peak_bytes\":%d"
+           sep n r.Scale.words_per_client n r.Scale.writer_peak_bytes))
+    points;
+  Buffer.add_string machine "},";
+  Buffer.add_string mem "}}";
+  print_endline "distribution is the real pipeline (mailbox ids, contiguous-range shards, per-shard";
+  print_endline "Bloom filters, bounded-writer publish); tokens are synthetic 32-byte values so a";
+  print_endline "million clients fit one process. Budget breach or a missed dial exits nonzero.";
+  (* machine-readable line for transcribing into BENCH_scale.json *)
+  print_endline (Buffer.contents machine ^ Buffer.contents mem)

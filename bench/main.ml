@@ -2,8 +2,9 @@
    §8, plus the DESIGN.md ablations.
 
    Usage: dune exec bench/main.exe [-- section...]
-   Sections: fig6 fig7 fig8 fig9 fig10 skewsize cpu parallel sizes extract e2e
-             ablation-onion ablation-bloom ablation-mailboxes smoke
+   Sections: fig6 fig7 fig8 fig9 fig10 figscale skewsize cpu parallel sizes
+             extract e2e ablation-onion ablation-bloom ablation-mailboxes
+             scale smoke
    With no arguments, every section runs. The "smoke" section also runs
    under `dune runtest`: it validates the telemetry exporters on one tiny
    instrumented round (see bench_smoke.ml). *)
@@ -17,6 +18,7 @@ let sections pc =
     ("fig8", fun () -> Bench_figures.fig8 pc);
     ("fig9", fun () -> Bench_figures.fig9 pc);
     ("fig10", fun () -> Bench_figures.fig10 pc);
+    ("figscale", fun () -> Bench_figures.figscale pc);
     ("skewsize", fun () -> Bench_figures.skewsize pc);
     ("privacy", Bench_privacy.privacy);
     ("cpu", Bench_cpu.cpu);
@@ -29,6 +31,7 @@ let sections pc =
     ("ablation-mailboxes", Bench_e2e.ablation_mailboxes);
     ("ratelimit", Bench_e2e.ratelimit);
     ("ablation-pipeline", Bench_e2e.ablation_pipeline);
+    ("scale", Bench_scale.scale);
     ("smoke", fun () -> Bench_smoke.smoke ());
   ]
 

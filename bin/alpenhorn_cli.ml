@@ -19,6 +19,7 @@ module Client = Alpenhorn_core.Client
 module Deployment = Alpenhorn_core.Deployment
 module Costmodel = Alpenhorn_sim.Costmodel
 module Round_sim = Alpenhorn_sim.Round_sim
+module Scale = Alpenhorn_sim.Scale
 module Faults = Alpenhorn_sim.Faults
 module Util = Alpenhorn_crypto.Util
 module Tel = Alpenhorn_telemetry.Telemetry
@@ -500,6 +501,86 @@ let simulate_cmd =
       const run_simulate $ users $ servers $ dial_minutes $ af_hours $ calibrate $ metrics_arg
       $ metrics_json_arg $ trace_arg $ events_arg $ slo_arg $ trace_sample_arg $ faults
       $ fault_seed $ domains_arg $ serve_metrics_arg $ serve_hold_arg $ record)
+
+(* ---- scale: one sharded million-user round, gated by the scale SLOs ---- *)
+
+let run_scale users shards noise_per_mailbox scan_sample download_budget metrics metrics_json
+    events slo domains =
+  apply_domains domains;
+  if users < 1 then begin
+    prerr_endline "alpenhorn: --users must be >= 1";
+    exit 2
+  end;
+  ignore (Tel.Snapshot.take ~reset:true Tel.default);
+  let r = Scale.run ?shards ?noise_per_mailbox ~scan_sample ~clients:users () in
+  Format.printf "%a@?" Scale.pp r;
+  let breach = ref false in
+  if not (Scale.within_budget r) then begin
+    Printf.printf "FAIL: peak heap %d words exceeds the %d-word budget\n" r.Scale.peak_words
+      (Scale.budget_words ~clients:users);
+    breach := true
+  end;
+  if r.Scale.scan_hits <> r.Scale.scan_dialed then begin
+    Printf.printf "FAIL: %d of %d dialed clients missed their token\n"
+      (r.Scale.scan_dialed - r.Scale.scan_hits)
+      r.Scale.scan_dialed;
+    breach := true
+  end;
+  let slo_rules =
+    if slo then
+      Some
+        (Slo.default_rules
+           ~scale_bytes_per_client_ceiling:(float_of_int download_budget)
+           ~scale_words_per_client_ceiling:
+             (float_of_int (Scale.budget_words ~clients:users) /. float_of_int users)
+           ())
+    else None
+  in
+  let healthy =
+    dump_telemetry ~metrics ~json_path:metrics_json ~trace_path:None ~events_path:events
+      ~slo_rules ()
+  in
+  if !breach || not healthy then exit 2;
+  0
+
+let scale_cmd =
+  let users =
+    Arg.(value & opt int 1_000_000 & info [ "users" ] ~doc:"Clients in the round.")
+  in
+  let shards =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shards" ] ~docv:"S"
+          ~doc:"Contiguous mailbox-range shards (default: one per ~64k clients).")
+  in
+  let noise =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "noise-per-mailbox" ] ~docv:"N"
+          ~doc:"Noise tokens per mailbox (default: the paper's 25000 x 3 servers).")
+  in
+  let scan_sample =
+    Arg.(
+      value & opt int 4096
+      & info [ "scan-sample" ] ~docv:"N" ~doc:"Scanning clients sampled over the population.")
+  in
+  let download_budget =
+    Arg.(
+      value & opt int 1_048_576
+      & info [ "download-budget" ] ~docv:"BYTES"
+          ~doc:"With --slo: ceiling for the scale.bytes_per_client gauge (a client's shard \
+                download).")
+  in
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:
+         "Run one sharded synthetic dialing round at up to millions of clients (DESIGN.md \
+          §15) and assert its memory and download budgets; exits 2 on a breach.")
+    Term.(
+      const run_scale $ users $ shards $ noise $ scan_sample $ download_budget $ metrics_arg
+      $ metrics_json_arg $ events_arg $ slo_arg $ domains_arg)
 
 (* ---- serve-metrics: a live in-process deployment behind the endpoint ---- *)
 
@@ -1268,6 +1349,7 @@ let () =
             session_cmd;
             params_cmd;
             simulate_cmd;
+            scale_cmd;
             serve_metrics_cmd;
             top_cmd;
             serve_pkg_cmd;

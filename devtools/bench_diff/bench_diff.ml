@@ -18,12 +18,17 @@ let read_file path =
     let s = really_input_string ic (in_channel_length ic) in
     close_in ic;
     Some s
-  with Sys_error _ -> None
+  with Sys_error _ | End_of_file -> None
 
 let parse_file path =
   match read_file path with
   | None ->
-    Printf.eprintf "bench_diff: cannot read %s\n" path;
+    if Sys.file_exists path then Printf.eprintf "bench_diff: cannot read %s\n" path
+    else
+      Printf.eprintf
+        "bench_diff: baseline %s does not exist — transcribe the bench run's machine-readable \
+         JSON line into it (see the notes field of any BENCH_*.json)\n"
+        path;
     exit 2
   | Some s -> (
     match Json.parse s with

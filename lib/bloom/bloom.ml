@@ -21,11 +21,21 @@ let create_custom ~bits ~hashes =
 
 (* Derive k indices via double hashing over two independent 64-bit values
    (Kirsch-Mitzenmacher), which preserves the asymptotic FP rate. *)
-let indices t elem =
-  let d = Sha256.digest ("bloom" ^ elem) in
+let indices_of_digest t d =
   let h1 = Util.read_be64 d 0 land max_int and h2 = Util.read_be64 d 8 land max_int in
   let h2 = if h2 mod t.nbits = 0 then h2 + 1 else h2 in
   Array.init t.k (fun i -> abs (h1 + (i * h2)) mod t.nbits)
+
+let indices t elem = indices_of_digest t (Sha256.digest ("bloom" ^ elem))
+
+(* Same digest as [indices], streamed over a slice of a flat buffer: the
+   sharded distribution paths add millions of tokens straight out of one
+   preallocated [Bytes.t] without a substring per token. *)
+let indices_sub t buf ~pos ~len =
+  let c = Sha256.init () in
+  Sha256.update c "bloom";
+  Sha256.update_bytes c buf pos len;
+  indices_of_digest t (Sha256.finalize c)
 
 let set_bit b i = Bytes.set b (i / 8) (Char.chr (Char.code (Bytes.get b (i / 8)) lor (1 lsl (i mod 8))))
 let get_bit b i = (Char.code (Bytes.get b (i / 8)) lsr (i mod 8)) land 1 = 1
@@ -35,6 +45,24 @@ let add t elem =
   t.n <- t.n + 1
 
 let mem t elem = Array.for_all (get_bit t.bits) (indices t elem)
+
+let add_sub t buf ~pos ~len =
+  Array.iter (set_bit t.bits) (indices_sub t buf ~pos ~len);
+  t.n <- t.n + 1
+
+let mem_sub t buf ~pos ~len = Array.for_all (get_bit t.bits) (indices_sub t buf ~pos ~len)
+
+let fill_ratio t =
+  let set = ref 0 in
+  Bytes.iter
+    (fun c ->
+      let x = Char.code c in
+      (* popcount of one byte *)
+      let x = x - ((x lsr 1) land 0x55) in
+      let x = (x land 0x33) + ((x lsr 2) land 0x33) in
+      set := !set + ((x + (x lsr 4)) land 0x0f))
+    t.bits;
+  float_of_int !set /. float_of_int t.nbits
 
 let size_bits t = t.nbits
 let size_bytes t = Bytes.length t.bits + 12 (* header included, matching to_bytes *)

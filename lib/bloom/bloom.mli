@@ -27,6 +27,19 @@ val create_custom : bits:int -> hashes:int -> t
 
 val add : t -> string -> unit
 val mem : t -> string -> bool
+
+val add_sub : t -> bytes -> pos:int -> len:int -> unit
+(** [add] of the slice [buf[pos, pos+len)], hashed by streaming — no
+    substring allocation. Byte-compatible with [add (Bytes.sub_string buf
+    pos len)]; the flat-buffer sharded distribution path at 1M+ tokens. *)
+
+val mem_sub : t -> bytes -> pos:int -> len:int -> bool
+(** Slice variant of [mem]; see {!add_sub}. *)
+
+val fill_ratio : t -> float
+(** Fraction of bits set — the direct load measurement behind
+    {!false_positive_estimate} ([fill_ratio^k] is the empirical FP rate). *)
+
 val size_bits : t -> int
 val size_bytes : t -> int
 val num_hashes : t -> int

@@ -11,6 +11,7 @@ type t = {
   dialing_round_seconds : int;
   faithful_noise : bool;
   dial_archive_rounds : int;
+  dial_shards : int;
 }
 
 let paper =
@@ -27,6 +28,7 @@ let paper =
     dialing_round_seconds = 300;
     faithful_noise = true;
     dial_archive_rounds = 288 (* one day of 5-minute rounds, §5.1 *);
+    dial_shards = 0;
   }
 
 let test =
@@ -43,6 +45,7 @@ let test =
     dialing_round_seconds = 10;
     faithful_noise = true;
     dial_archive_rounds = 4;
+    dial_shards = 0;
   }
 
 let params t = Alpenhorn_pairing.Params.of_named t.param_name
@@ -58,6 +61,7 @@ let validate t =
   else if t.addfriend_round_seconds < 1 || t.dialing_round_seconds < 1 then
     Error "round durations must be >= 1s"
   else if t.dial_archive_rounds < 0 then Error "dial_archive_rounds must be >= 0"
+  else if t.dial_shards < 0 then Error "dial_shards must be >= 0"
   else begin
     match Alpenhorn_pairing.Params.of_named t.param_name with
     | exception Invalid_argument m -> Error m

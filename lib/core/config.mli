@@ -21,6 +21,14 @@ type t = {
           that were offline (§5.1: "maintained by the Alpenhorn servers for
           a relatively long time", e.g. a day); older rounds are erased and
           offline clients advance their keywheels past them. *)
+  dial_shards : int;
+      (** when > 0, the dialing round distributes into this many
+          contiguous-mailbox-range shards (§5.1 CDN model,
+          {!Alpenhorn_mixnet.Mailbox.distribute_sharded}): one Bloom filter
+          per shard, clients download the shard covering their mailbox.
+          The effective mailbox count is raised to at least the shard
+          count. 0 (the default in both presets) keeps the per-mailbox
+          filters. *)
 }
 
 val paper : t

@@ -5,6 +5,7 @@ module Bls = Alpenhorn_bls.Bls
 module Pkg = Alpenhorn_pkg.Pkg
 module Chain = Alpenhorn_mixnet.Chain
 module Mailbox = Alpenhorn_mixnet.Mailbox
+module Shard = Alpenhorn_mixnet.Shard
 module Bloom = Alpenhorn_bloom.Bloom
 module Tel = Alpenhorn_telemetry.Telemetry
 module Trace = Alpenhorn_telemetry.Trace
@@ -24,6 +25,18 @@ type fault_view = {
 
 exception Round_failed of { phase : string; round : int; attempts : int }
 
+(* One archived dialing round (§5.1): either per-mailbox filters (legacy)
+   or per-shard filters (Config.dial_shards > 0). Either way a client's
+   download for that round is a single Bloom filter, found by its email. *)
+type archived =
+  | Per_mailbox of Bloom.t array * int (* filters, K *)
+  | Per_shard of Bloom.t array * Shard.t
+
+let archived_lookup entry ~email =
+  match entry with
+  | Per_mailbox (filters, k) -> filters.(Mailbox.mailbox_of_identity email ~num_mailboxes:k)
+  | Per_shard (filters, shard) -> filters.(Shard.of_identity shard email)
+
 type t = {
   config : Config.t;
   params : Params.t;
@@ -32,7 +45,7 @@ type t = {
   af_chain : Chain.t;
   dial_chain : Chain.t;
   inboxes : (string, (int * string) list ref) Hashtbl.t; (* simulated email provider *)
-  dial_archive : (int, Bloom.t array * int) Hashtbl.t; (* round -> filters, K (§5.1) *)
+  dial_archive : (int, archived) Hashtbl.t; (* round -> that round's filters (§5.1) *)
   mutable clients : Client.t list; (* registered clients *)
   mutable af_round : int;
   mutable dial_round : int;
@@ -487,8 +500,7 @@ let run_dialing_round t ?tracer ?participants () =
                   let r = first + i in
                   match Hashtbl.find_opt t.dial_archive r with
                   | None -> (r, None)
-                  | Some (filters, k) ->
-                    (r, Some filters.(Mailbox.mailbox_of_identity (Client.email c) ~num_mailboxes:k)))
+                  | Some entry -> (r, Some (archived_lookup entry ~email:(Client.email c))))
             in
             List.map (fun ev -> (Client.email c, ev)) (Client.catch_up_dialing c ~through)
           end)
@@ -501,7 +513,12 @@ let run_dialing_round t ?tracer ?participants () =
     "round.start";
   let body ~after_begin =
     Tel.Span.with_ Tel.default "round.dialing" @@ fun () ->
-    let num_mailboxes = num_dial_mailboxes t ~participants:(List.length clients) in
+    let num_shards = t.config.Config.dial_shards in
+    (* Sharded mode (§5.1): the mailbox count must be at least the shard
+       count so every shard covers a non-empty mailbox range. *)
+    let num_mailboxes =
+      Stdlib.max (num_dial_mailboxes t ~participants:(List.length clients)) num_shards
+    in
     List.iter (fun c -> Client.advance_dialing c ~round) clients;
     let server_pks = Chain.begin_round t.dial_chain in
     after_begin ();
@@ -511,17 +528,46 @@ let run_dialing_round t ?tracer ?participants () =
         clients
       |> Array.of_list
     in
-    let mailboxes, stats, published =
-      Chain.run_round_traced t.dial_chain ~mode:`Dialing ~noise_mu:t.config.Config.dialing_noise_mu
-        ~laplace_b:t.config.Config.laplace_b ~num_mailboxes
-        ~noise_body:(fun ~mailbox:_ -> Drbg.bytes t.rng Wire.dial_token_size)
-        ?tracer batch
+    let noise_body ~mailbox:_ = Drbg.bytes t.rng Wire.dial_token_size in
+    (* Run the chain, then express the result uniformly: the filter a given
+       client downloads, the per-download sizes, and the archive entry.
+       Both paths share the whole mix pipeline (Chain.run_pipeline), so the
+       dial tokens are byte-identical; only the last-hop grouping differs.
+       Trace stitching stays a per-mailbox concern ([published] is empty in
+       sharded mode). *)
+    let filter_for, sizes, stats, published, archive_entry =
+      if num_shards = 0 then begin
+        let mailboxes, stats, published =
+          Chain.run_round_traced t.dial_chain ~mode:`Dialing
+            ~noise_mu:t.config.Config.dialing_noise_mu ~laplace_b:t.config.Config.laplace_b
+            ~num_mailboxes ~noise_body ?tracer batch
+        in
+        let filters = Mailbox.filters_exn mailboxes in
+        ( (fun email -> filters.(Mailbox.mailbox_of_identity email ~num_mailboxes)),
+          Mailbox.size_bytes mailboxes,
+          stats,
+          published,
+          Per_mailbox (filters, num_mailboxes) )
+      end
+      else begin
+        let shard = Shard.create ~num_shards ~num_mailboxes in
+        let shards, stats =
+          Chain.run_round_sharded t.dial_chain ~mode:`Dialing
+            ~noise_mu:t.config.Config.dialing_noise_mu ~laplace_b:t.config.Config.laplace_b ~shard
+            ~noise_body (Array.map fst batch)
+        in
+        let filters = Mailbox.filter_shards_exn shards in
+        ( (fun email -> filters.(Shard.of_identity shard email)),
+          Mailbox.sharded_size_bytes shards,
+          stats,
+          [],
+          Per_shard (filters, shard) )
+      end
     in
-    let filters = Mailbox.filters_exn mailboxes in
     (* archive this round's filters; erase rounds past the retention window.
        Only a completed round is archived — an aborted attempt never
        publishes, not even partially. *)
-    Hashtbl.replace t.dial_archive round (filters, num_mailboxes);
+    Hashtbl.replace t.dial_archive round archive_entry;
     Hashtbl.remove t.dial_archive (round - t.config.Config.dial_archive_rounds);
     let calls =
       Tel.Span.with_ Tel.default "client.scan" @@ fun () ->
@@ -529,7 +575,7 @@ let run_dialing_round t ?tracer ?participants () =
         (fun c ->
           let mb = Mailbox.mailbox_of_identity (Client.email c) ~num_mailboxes in
           let t0 = Tel.now Tel.default in
-          let evs = Client.scan_dialing_mailbox c filters.(mb) in
+          let evs = Client.scan_dialing_mailbox c (filter_for (Client.email c)) in
           (match tracer with
           | Some tr ->
             List.iter
@@ -557,7 +603,7 @@ let run_dialing_round t ?tracer ?participants () =
       dial_noise_added = stats.Chain.noise_added;
       dial_dropped = stats.Chain.dropped;
       dial_num_mailboxes = num_mailboxes;
-      filter_bytes = Mailbox.size_bytes mailboxes;
+      filter_bytes = sizes;
       calls;
     }
   in
@@ -571,7 +617,7 @@ let run_dialing_round t ?tracer ?participants () =
 let archived_filter (t : t) ~round ~email =
   match Hashtbl.find_opt t.dial_archive round with
   | None -> None
-  | Some (filters, k) -> Some filters.(Mailbox.mailbox_of_identity email ~num_mailboxes:k)
+  | Some entry -> Some (archived_lookup entry ~email)
 
 let catch_up_client (t : t) client =
   let first = Client.dialing_round client + 1 in

@@ -52,74 +52,94 @@ let round_pks t =
          | Some pk -> pk
          | None -> invalid_arg "Chain.round_pks: round not started")
 
+(* The mix pipeline shared by the unsharded and sharded round runners:
+   abort checks, the per-hop unwrap/noise/shuffle passes, key erasure, and
+   the traced-publish bookkeeping. Distribution into mailboxes (or shards)
+   happens on the result, so both runners emit byte-identical final
+   payloads for the same inputs. *)
+let run_pipeline t ~noise_mu ~laplace_b ~num_mailboxes ~noise_body ?tracer batch =
+  let n = Array.length t.servers in
+  (* Anytrust: one dead server kills the round. Abort cleanly — every
+     per-round key is erased, nothing reaches a mailbox (no partial
+     publish) — and let the caller re-run after backoff. *)
+  let abort server =
+    abort_round t;
+    Events.log Events.default ~severity:Error
+      ~labels:[ ("server", string_of_int server) ]
+      ~detail:"server down mid-round; round keys erased, no mailboxes published"
+      "mix.round_abort";
+    raise (Aborted { server })
+  in
+  Array.iteri (fun i s -> if Server.is_down s then abort i) t.servers;
+  (* Force shared lazy tables before the per-hop unwraps fan out to the
+     domain pool (each hop's Server.process_traced parallelizes its
+     batch). *)
+  if Parallel.size (Parallel.get ()) > 1 then Params.force_tables t.params;
+  let pks = Array.of_list (round_pks t) in
+  let total_noise = ref 0 in
+  let current = ref batch in
+  for i = 0 to n - 1 do
+    (* re-checked per hop: a server can die mid-round (e.g. from a
+       noise_body callback in the chaos tests) *)
+    if Server.is_down t.servers.(i) then abort i;
+    let downstream_pks = Array.to_list (Array.sub pks (i + 1) (n - i - 1)) in
+    let out, noise =
+      Tel.Span.with_ Tel.default
+        ~labels:[ ("server", string_of_int i) ]
+        "mix.server_process"
+        (fun () ->
+          Server.process_traced t.servers.(i) ~downstream_pks ~noise_mu ~laplace_b
+            ~num_mailboxes ~noise_body ?tracer !current)
+    in
+    total_noise := !total_noise + noise;
+    current := out
+  done;
+  Array.iter Server.end_round t.servers;
+  (* A traced payload that survived the whole chain lands in a mailbox:
+     record the publish hop and hand back (mailbox, ctx) so the caller
+     can stitch the recipient's scan onto the same trace. *)
+  let published =
+    match tracer with
+    | None -> []
+    | Some tr ->
+      Array.to_list !current
+      |> List.filter_map (fun (payload, ctx) ->
+             match ctx with
+             | None -> None
+             | Some c -> (
+               match Payload.decode payload with
+               | Some (mb, _) when mb >= 0 && mb < num_mailboxes ->
+                 let child = Trace.child tr c in
+                 let now = Tel.now Tel.default in
+                 Trace.emit tr child
+                   ~labels:[ ("mailbox", string_of_int mb) ]
+                   ~name:"mailbox.publish" ~ts:now ~dur:0.0 ();
+                 Some (mb, child)
+               | Some _ | None -> None))
+  in
+  (Array.map fst !current, !total_noise, published)
+
 let run_round_traced t ~mode ~noise_mu ~laplace_b ~num_mailboxes ~noise_body ?tracer batch =
   Tel.Span.with_ Tel.default "mix.round" (fun () ->
       Tel.Counter.inc (Tel.Counter.v Tel.default "mix.rounds");
-      let n = Array.length t.servers in
-      (* Anytrust: one dead server kills the round. Abort cleanly — every
-         per-round key is erased, nothing reaches a mailbox (no partial
-         publish) — and let the caller re-run after backoff. *)
-      let abort server =
-        abort_round t;
-        Events.log Events.default ~severity:Error
-          ~labels:[ ("server", string_of_int server) ]
-          ~detail:"server down mid-round; round keys erased, no mailboxes published"
-          "mix.round_abort";
-        raise (Aborted { server })
+      let final, noise_added, published =
+        run_pipeline t ~noise_mu ~laplace_b ~num_mailboxes ~noise_body ?tracer batch
       in
-      Array.iteri (fun i s -> if Server.is_down s then abort i) t.servers;
-      (* Force shared lazy tables before the per-hop unwraps fan out to the
-         domain pool (each hop's Server.process_traced parallelizes its
-         batch). *)
-      if Parallel.size (Parallel.get ()) > 1 then Params.force_tables t.params;
-      let pks = Array.of_list (round_pks t) in
-      let total_noise = ref 0 in
-      let current = ref batch in
-      for i = 0 to n - 1 do
-        (* re-checked per hop: a server can die mid-round (e.g. from a
-           noise_body callback in the chaos tests) *)
-        if Server.is_down t.servers.(i) then abort i;
-        let downstream_pks = Array.to_list (Array.sub pks (i + 1) (n - i - 1)) in
-        let out, noise =
-          Tel.Span.with_ Tel.default
-            ~labels:[ ("server", string_of_int i) ]
-            "mix.server_process"
-            (fun () ->
-              Server.process_traced t.servers.(i) ~downstream_pks ~noise_mu ~laplace_b
-                ~num_mailboxes ~noise_body ?tracer !current)
-        in
-        total_noise := !total_noise + noise;
-        current := out
-      done;
-      Array.iter Server.end_round t.servers;
-      (* A traced payload that survived the whole chain lands in a mailbox:
-         record the publish hop and hand back (mailbox, ctx) so the caller
-         can stitch the recipient's scan onto the same trace. *)
-      let published =
-        match tracer with
-        | None -> []
-        | Some tr ->
-          Array.to_list !current
-          |> List.filter_map (fun (payload, ctx) ->
-                 match ctx with
-                 | None -> None
-                 | Some c -> (
-                   match Payload.decode payload with
-                   | Some (mb, _) when mb >= 0 && mb < num_mailboxes ->
-                     let child = Trace.child tr c in
-                     let now = Tel.now Tel.default in
-                     Trace.emit tr child
-                       ~labels:[ ("mailbox", string_of_int mb) ]
-                       ~name:"mailbox.publish" ~ts:now ~dur:0.0 ();
-                     Some (mb, child)
-                   | Some _ | None -> None))
-      in
-      let mailboxes, dropped =
-        Mailbox.distribute ~num_mailboxes ~mode (Array.map fst !current)
-      in
+      let mailboxes, dropped = Mailbox.distribute ~num_mailboxes ~mode final in
       ( mailboxes,
-        { real_in = Array.length batch; noise_added = !total_noise; dropped; num_mailboxes },
+        { real_in = Array.length batch; noise_added; dropped; num_mailboxes },
         published ))
+
+let run_round_sharded t ~mode ~noise_mu ~laplace_b ~shard ~noise_body batch =
+  Tel.Span.with_ Tel.default "mix.round" (fun () ->
+      Tel.Counter.inc (Tel.Counter.v Tel.default "mix.rounds");
+      let num_mailboxes = Shard.num_mailboxes shard in
+      let final, noise_added, _ =
+        run_pipeline t ~noise_mu ~laplace_b ~num_mailboxes ~noise_body
+          (Array.map (fun onion -> (onion, None)) batch)
+      in
+      let shards, dropped = Mailbox.distribute_sharded ~shard ~mode final in
+      (shards, { real_in = Array.length batch; noise_added; dropped; num_mailboxes }))
 
 let run_round t ~mode ~noise_mu ~laplace_b ~num_mailboxes ~noise_body batch =
   let mailboxes, stats, _ =

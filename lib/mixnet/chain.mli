@@ -60,6 +60,22 @@ val run_round :
 (** Process one batch end-to-end and erase all round keys.
     @raise Aborted when any server is down. *)
 
+val run_round_sharded :
+  t ->
+  mode:[ `AddFriend | `Dialing ] ->
+  noise_mu:float ->
+  laplace_b:float ->
+  shard:Shard.t ->
+  noise_body:Server.noise_body ->
+  string array ->
+  Mailbox.sharded * stats
+(** Like {!run_round} but the last hop distributes into contiguous
+    mailbox-range shards ({!Mailbox.distribute_sharded}, §5.1) instead of
+    individual mailboxes. Shares the entire mix pipeline with
+    {!run_round}, so the final payloads — and therefore the dial tokens —
+    are byte-identical to the unsharded path on the same inputs.
+    @raise Aborted when any server is down. *)
+
 val run_round_traced :
   t ->
   mode:[ `AddFriend | `Dialing ] ->

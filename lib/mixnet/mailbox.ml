@@ -1,6 +1,7 @@
 module Sha256 = Alpenhorn_crypto.Sha256
 module Util = Alpenhorn_crypto.Util
 module Bloom = Alpenhorn_bloom.Bloom
+module Parallel = Alpenhorn_parallel.Parallel
 
 type t = Plain of string list array | Filters of Bloom.t array
 
@@ -8,9 +9,7 @@ let num_mailboxes_for ~expected_real ~noise_mu ~chain_length =
   let per_mailbox = noise_mu *. float_of_int chain_length in
   Stdlib.max 1 (int_of_float (Float.round (float_of_int expected_real /. per_mailbox)))
 
-let mailbox_of_identity email ~num_mailboxes =
-  let d = Sha256.digest ("mailbox" ^ email) in
-  (Util.read_be64 d 0 land max_int) mod num_mailboxes
+let mailbox_of_identity = Mailbox_id.of_identity
 
 let distribute ~num_mailboxes ~mode payloads =
   let buckets = Array.make num_mailboxes [] in
@@ -35,6 +34,86 @@ let distribute ~num_mailboxes ~mode payloads =
   in
   (t, !dropped)
 
+(* Sharded distribution (§5.1 CDN model): payloads are grouped by the
+   contiguous-prefix shard of their mailbox id with one counting-sort pass
+   over flat int buffers — no per-mailbox lists, no substring per payload —
+   then each shard is built independently on the domain pool. Plain shards
+   are streamed through a bounded {!Stream_writer} as length-prefixed
+   records (each record body is the full payload, mailbox header included,
+   so clients filter for their own mailbox after download); dialing shards
+   pack every token in the shard's mailbox range into one Bloom filter,
+   hashing straight out of the payload buffer via {!Bloom.add_sub}. *)
+
+type sharded = Plain_shards of string array | Filter_shards of Bloom.t array
+
+let distribute_sharded ~shard ~mode payloads =
+  let num_mailboxes = Shard.num_mailboxes shard in
+  let num_shards = Shard.size shard in
+  let n = Array.length payloads in
+  (* Pass 1: shard id per payload (-1 = cover traffic / corrupt header),
+     plus per-shard counts. *)
+  let sid = Array.make n (-1) in
+  let counts = Array.make num_shards 0 in
+  let dropped = ref 0 in
+  for i = 0 to n - 1 do
+    match Payload.mailbox payloads.(i) with
+    | Some mb when mb >= 0 && mb < num_mailboxes ->
+      let s = Shard.of_mailbox shard mb in
+      sid.(i) <- s;
+      counts.(s) <- counts.(s) + 1
+    | Some _ | None -> incr dropped
+  done;
+  (* Pass 2: prefix sums + stable permutation grouping payload indices by
+     shard, so pass 3 reads each shard as one contiguous slice. *)
+  let offsets = Array.make (num_shards + 1) 0 in
+  for s = 0 to num_shards - 1 do
+    offsets.(s + 1) <- offsets.(s) + counts.(s)
+  done;
+  let next = Array.copy offsets in
+  let order = Array.make (Stdlib.max 1 offsets.(num_shards)) 0 in
+  for i = 0 to n - 1 do
+    let s = sid.(i) in
+    if s >= 0 then begin
+      order.(next.(s)) <- i;
+      next.(s) <- next.(s) + 1
+    end
+  done;
+  let pool = Parallel.get () in
+  let content =
+    match mode with
+    | `Dialing ->
+      Filter_shards
+        (Parallel.map_range pool
+           (fun s ->
+             let lo = offsets.(s) and hi = offsets.(s + 1) in
+             let f = Bloom.create ~expected_elements:(Stdlib.max 1 (hi - lo)) in
+             for j = lo to hi - 1 do
+               let p = payloads.(order.(j)) in
+               (* same bytes as the unsharded [Bloom.add body]: the token is
+                  the payload minus its mailbox header *)
+               Bloom.add_sub f
+                 (Bytes.unsafe_of_string p)
+                 ~pos:Payload.overhead
+                 ~len:(String.length p - Payload.overhead)
+             done;
+             f)
+           num_shards)
+    | `AddFriend ->
+      Plain_shards
+        (Parallel.map_range pool
+           (fun s ->
+             let lo = offsets.(s) and hi = offsets.(s + 1) in
+             let buf = Buffer.create (Stdlib.max 64 ((hi - lo) * 64)) in
+             let w = Stream_writer.create (Stream_writer.buffer_sink buf) in
+             for j = lo to hi - 1 do
+               Stream_writer.write_record w payloads.(order.(j))
+             done;
+             Stream_writer.flush w;
+             Buffer.contents buf)
+           num_shards)
+  in
+  (content, !dropped)
+
 let size_bytes t =
   match t with
   | Plain buckets -> Array.map (fun l -> List.fold_left (fun acc s -> acc + String.length s) 0 l) buckets
@@ -42,3 +121,15 @@ let size_bytes t =
 
 let plain_exn = function Plain p -> p | Filters _ -> invalid_arg "Mailbox.plain_exn"
 let filters_exn = function Filters f -> f | Plain _ -> invalid_arg "Mailbox.filters_exn"
+
+let sharded_size_bytes = function
+  | Plain_shards blobs -> Array.map String.length blobs
+  | Filter_shards fs -> Array.map Bloom.size_bytes fs
+
+let plain_shards_exn = function
+  | Plain_shards p -> p
+  | Filter_shards _ -> invalid_arg "Mailbox.plain_shards_exn"
+
+let filter_shards_exn = function
+  | Filter_shards f -> f
+  | Plain_shards _ -> invalid_arg "Mailbox.filter_shards_exn"

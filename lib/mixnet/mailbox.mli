@@ -26,3 +26,32 @@ val size_bytes : t -> int array
 
 val plain_exn : t -> string list array
 val filters_exn : t -> Alpenhorn_bloom.Bloom.t array
+
+(** {2 Sharded distribution (§5.1 CDN model)}
+
+    At million-user scale a client downloads one {e shard} — a contiguous
+    prefix range of mailbox ids ({!Shard}) — instead of one mailbox.
+    Distribution runs a counting sort over flat int buffers (no
+    per-mailbox lists) and builds each shard on the domain pool. *)
+
+type sharded =
+  | Plain_shards of string array
+      (** add-friend: per shard, a {!Stream_writer} blob of length-prefixed
+          records; each record body is a full payload (mailbox header
+          included) so clients filter for their own mailbox locally *)
+  | Filter_shards of Alpenhorn_bloom.Bloom.t array
+      (** dialing: per shard, one Bloom filter over every dial token whose
+          mailbox falls in the shard's range *)
+
+val distribute_sharded :
+  shard:Shard.t -> mode:[ `AddFriend | `Dialing ] -> string array -> sharded * int
+(** Sharded counterpart of {!distribute}: same drop rules, and dial tokens
+    are hashed from exactly the same bytes as the unsharded path
+    (regression-tested byte-for-byte). Returns the shards and the number
+    of dropped messages. *)
+
+val sharded_size_bytes : sharded -> int array
+(** Download size of each shard as the client sees it. *)
+
+val plain_shards_exn : sharded -> string array
+val filter_shards_exn : sharded -> Alpenhorn_bloom.Bloom.t array

@@ -1,0 +1,6 @@
+module Sha256 = Alpenhorn_crypto.Sha256
+module Util = Alpenhorn_crypto.Util
+
+let of_identity email ~num_mailboxes =
+  let d = Sha256.digest ("mailbox" ^ email) in
+  (Util.read_be64 d 0 land max_int) mod num_mailboxes

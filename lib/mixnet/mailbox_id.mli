@@ -1,0 +1,8 @@
+(** Recipient-identity hashing to a mailbox id (§3.1 step 4): [H(email)
+    mod K], the one address computation the submitting client, the last
+    mixnet server and the downloading client must all agree on.  Factored
+    out of {!Mailbox} so {!Shard} (the §5.1 CDN shard partition) can share
+    the exact hash without a module cycle. *)
+
+val of_identity : string -> num_mailboxes:int -> int
+(** [H(email) mod K]. *)

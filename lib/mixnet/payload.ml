@@ -10,3 +10,5 @@ let encode ~mailbox body =
 let decode s =
   if String.length s < overhead then None
   else Some (Util.read_be32 s 0, String.sub s overhead (String.length s - overhead))
+
+let mailbox s = if String.length s < overhead then None else Some (Util.read_be32 s 0)

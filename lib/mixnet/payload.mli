@@ -9,4 +9,10 @@ val cover : int
 
 val encode : mailbox:int -> string -> string
 val decode : string -> (int * string) option
+
+val mailbox : string -> int option
+(** Header-only peek at the mailbox id — no body substring. The sharded
+    distribution's counting pass classifies millions of payloads with this
+    before touching any body bytes. *)
+
 val overhead : int

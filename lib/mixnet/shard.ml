@@ -1,0 +1,34 @@
+(* Mailbox-to-shard partition for the §5.1 CDN download model: shards are
+   contiguous prefix ranges of the mailbox space, so a shard id is a
+   function of the recipient-ID hash alone and both ends (last mixnet
+   server, downloading client) agree on it with no shared state. *)
+
+type t = { num_shards : int; num_mailboxes : int }
+
+let create ~num_shards ~num_mailboxes =
+  if num_shards < 1 then invalid_arg "Shard.create: num_shards must be >= 1";
+  if num_mailboxes < 1 then invalid_arg "Shard.create: num_mailboxes must be >= 1";
+  if num_shards > num_mailboxes then
+    invalid_arg "Shard.create: num_shards must be <= num_mailboxes";
+  { num_shards; num_mailboxes }
+
+let size t = t.num_shards
+let num_mailboxes t = t.num_mailboxes
+
+(* Contiguous partition of [0, K) into S near-equal ranges: mailbox m of
+   shard [m * S / K]. Integer arithmetic only, monotone in m, exhaustive
+   and non-overlapping (see the property suite). *)
+let of_mailbox t mailbox =
+  if mailbox < 0 || mailbox >= t.num_mailboxes then invalid_arg "Shard.of_mailbox: mailbox";
+  mailbox * t.num_shards / t.num_mailboxes
+
+let of_identity t email =
+  of_mailbox t (Mailbox_id.of_identity email ~num_mailboxes:t.num_mailboxes)
+
+(* [lo, hi) of the mailboxes shard s covers: the preimage of [of_mailbox].
+   ceil(s * K / S) is the first mailbox mapping to s. *)
+let mailbox_range t s =
+  if s < 0 || s >= t.num_shards then invalid_arg "Shard.mailbox_range: shard";
+  let lo = ((s * t.num_mailboxes) + t.num_shards - 1) / t.num_shards in
+  let hi = (((s + 1) * t.num_mailboxes) + t.num_shards - 1) / t.num_shards in
+  (lo, hi)

@@ -1,0 +1,37 @@
+(** Mailbox-to-shard partition for the §5.1 CDN download model.
+
+    At million-user scale a client must not download a whole round: dials
+    are grouped into [num_shards] shards, each a contiguous prefix range of
+    the mailbox space, and a client fetches only the shard containing its
+    own mailbox [H(email) mod K] ({!Mailbox_id}).  The shard id is a pure
+    function of the recipient identity, so the last mixnet server (packing
+    per-shard Bloom filters) and the downloading client need no shared
+    state beyond these two integers.
+
+    Partition contract (property-tested): every mailbox belongs to exactly
+    one shard, {!mailbox_range}s are non-overlapping and exhaustive, and
+    [of_mailbox] is monotone — shard [s] covers mailboxes
+    [ceil(s*K/S), ceil((s+1)*K/S)). *)
+
+type t
+(** A shard partition: [num_shards] over [num_mailboxes]. *)
+
+val create : num_shards:int -> num_mailboxes:int -> t
+(** @raise Invalid_argument unless [1 <= num_shards <= num_mailboxes]. *)
+
+val size : t -> int
+(** Number of shards. *)
+
+val num_mailboxes : t -> int
+
+val of_mailbox : t -> int -> int
+(** Shard of mailbox [m]: [m * S / K].
+    @raise Invalid_argument when [m] is outside [0, K). *)
+
+val of_identity : t -> string -> int
+(** Shard of a recipient: [of_mailbox] of [H(email) mod K]. *)
+
+val mailbox_range : t -> int -> int * int
+(** [mailbox_range t s] is the half-open mailbox interval [lo, hi) shard
+    [s] covers; never empty, since [S <= K].
+    @raise Invalid_argument when [s] is outside [0, S). *)

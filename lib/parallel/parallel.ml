@@ -97,10 +97,12 @@ let chunk_bounds ~n ~nchunks i =
   let hi = lo + base + if i < rem then 1 else 0 in
   (lo, hi)
 
-let map t f arr =
-  let n = Array.length arr in
+(* Generic chunked dispatch over the index range [0, n): [produce j]
+   computes element [j]. [map] instantiates it with an array read;
+   [map_range] with the identity, so range jobs allocate no input array. *)
+let map_n t produce n =
   if t.size = 1 || n < 2 || (not t.live) || Domain.DLS.get in_worker then
-    Array.map f arr
+    Array.init n produce
   else begin
     let nchunks = min n (t.size * 4) in
     let results = Array.make n None in
@@ -117,7 +119,7 @@ let map t f arr =
       let lo, hi = chunk_bounds ~n ~nchunks ci in
       (try
          for j = lo to hi - 1 do
-           results.(j) <- Some (f arr.(j))
+           results.(j) <- Some (produce j)
          done
        with e -> ignore (Atomic.compare_and_set error None (Some e)));
       let dt = Unix.gettimeofday () -. c0 in
@@ -176,7 +178,17 @@ let map t f arr =
     Array.map (function Some v -> v | None -> assert false) results
   end
 
+let map t f arr = map_n t (fun j -> f arr.(j)) (Array.length arr)
+
 let map_list t f l = Array.to_list (map t f (Array.of_list l))
+
+(* [map] over the index range [0, n) without materializing an input array:
+   the shard-chunked paths (per-shard Bloom builds, flat-buffer token
+   generation) hand the pool an index and write into disjoint slices of a
+   preallocated buffer, so the only allocation here is the result array. *)
+let map_range t f n =
+  if n < 0 then invalid_arg "Parallel.map_range: negative range";
+  map_n t f n
 
 let default_size_from_env () =
   match Sys.getenv_opt "ALPENHORN_DOMAINS" with

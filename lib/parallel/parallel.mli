@@ -51,6 +51,13 @@ val map : t -> ('a -> 'b) -> 'a array -> 'b array
 val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
 (** {!map} over lists, preserving order. *)
 
+val map_range : t -> (int -> 'b) -> int -> 'b array
+(** [map_range t f n] is [Array.init n f] with the index range split across
+    the pool in contiguous chunks — {!map} without an input array, for
+    shard- or slice-indexed work over preallocated flat buffers.  Same
+    determinism, exception and sequential-fallback behavior as {!map}.
+    @raise Invalid_argument when [n < 0]. *)
+
 val default_size_from_env : unit -> int
 (** Pool size requested by the [ALPENHORN_DOMAINS] environment variable
     (default [1] when unset or unparseable). *)

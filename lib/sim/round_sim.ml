@@ -322,20 +322,37 @@ let addfriend m ?tracer ?events ?faults ?fault_round ?policy (pc : Costmodel.pro
       (requests_in_mailbox *. m.Costmodel.t_ibe_decrypt /. float_of_int m.Costmodel.client_cores)
     ~chunks ()
 
-let dialing m ?tracer ?events ?faults ?fault_round ?policy (pc : Costmodel.protocol_costs)
-    ~n_users ~n_servers ~noise_mu ~active_fraction ~friends ~intents ~chunks =
+let dialing m ?tracer ?events ?faults ?fault_round ?policy ?(num_shards = 0)
+    (pc : Costmodel.protocol_costs) ~n_users ~n_servers ~noise_mu ~active_fraction ~friends
+    ~intents ~chunks =
+  if num_shards < 0 then invalid_arg "Round_sim.dialing: num_shards";
   let active = int_of_float (Float.round (float_of_int n_users *. active_fraction)) in
-  let k = Mailbox.num_mailboxes_for ~expected_real:active ~noise_mu ~chain_length:n_servers in
+  let k =
+    Stdlib.max
+      (Mailbox.num_mailboxes_for ~expected_real:active ~noise_mu ~chain_length:n_servers)
+      num_shards
+  in
   let tokens_in_mailbox =
     (float_of_int active /. float_of_int k) +. (noise_mu *. float_of_int n_servers)
   in
+  (* Sharded download (§5.1): the client fetches the Bloom filter of its
+     whole shard — K/S mailboxes' worth of tokens — instead of one
+     mailbox's. Per-mailbox load (the §6 ceiling) is unchanged. *)
+  let download_tokens =
+    if num_shards = 0 then tokens_in_mailbox
+    else tokens_in_mailbox *. (float_of_int k /. float_of_int num_shards)
+  in
+  let mailbox_bytes = download_tokens *. float_of_int pc.Costmodel.bloom_bits_per_token /. 8.0 in
+  if num_shards > 0 then begin
+    Tel.Gauge.set (Tel.Gauge.v Tel.default "scale.shards") (float_of_int num_shards);
+    Tel.Gauge.set (Tel.Gauge.v Tel.default "scale.bytes_per_client") mailbox_bytes
+  end;
   replay m ?tracer ?events ?faults ?fault_round ?policy ~phase:"dialing"
     ~scan_metric:"client.dial_tokens_checked" ~scan_ops:(float_of_int (friends * intents))
     ~n_servers ~batch0:n_users ~noise_per_server:(noise_mu *. float_of_int k)
     ~t_noise:m.Costmodel.t_token
     ~msg_bytes:(float_of_int (pc.Costmodel.dial_token_bytes + pc.Costmodel.payload_header_bytes))
-    ~mailbox_bytes:(tokens_in_mailbox *. float_of_int pc.Costmodel.bloom_bits_per_token /. 8.0)
-    ~mailbox_load:tokens_in_mailbox
+    ~mailbox_bytes ~mailbox_load:tokens_in_mailbox
     ~scan_seconds:
       (float_of_int (friends * intents) *. m.Costmodel.t_token
       /. float_of_int m.Costmodel.client_cores)

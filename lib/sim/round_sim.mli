@@ -87,6 +87,7 @@ val dialing :
   ?faults:Faults.t ->
   ?fault_round:int ->
   ?policy:Faults.policy ->
+  ?num_shards:int ->
   Costmodel.protocol_costs ->
   n_users:int ->
   n_servers:int ->
@@ -96,3 +97,10 @@ val dialing :
   intents:int ->
   chunks:int ->
   timeline
+(** Replay one dialing round. With [?num_shards > 0] the client download
+    is modeled as one §5.1 shard — the Bloom filter covering [K/S]
+    mailboxes' worth of tokens, where [K] is raised to at least [S] — and
+    the [scale.shards] / [scale.bytes_per_client] gauges are set for the
+    {!Alpenhorn_telemetry.Slo} scale rules. Per-mailbox load (the §6
+    ceiling) is unchanged. Default [0]: per-mailbox download, exactly the
+    legacy model. *)

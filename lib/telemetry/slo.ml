@@ -91,7 +91,8 @@ let evaluate rules snap =
 let default_rules ?(addfriend_deadline = infinity) ?(dialing_deadline = infinity)
     ?(mailbox_ceiling = infinity) ?(cache_hit_floor = 0.0) ?(max_consecutive_aborts = infinity)
     ?(recovery_ceiling = infinity) ?(gc_pause_ceiling = infinity) ?(heap_words_ceiling = infinity)
-    ?(pool_util_floor = 0.0) () =
+    ?(pool_util_floor = 0.0) ?(scale_bytes_per_client_ceiling = infinity)
+    ?(scale_words_per_client_ceiling = infinity) () =
   [
     rule ~name:"round.addfriend.deadline"
       ~description:"slowest add-friend round finishes within its deadline"
@@ -124,6 +125,12 @@ let default_rules ?(addfriend_deadline = infinity) ?(dialing_deadline = infinity
     rule ~name:"parallel.pool_util"
       ~description:"least-utilized pool domain keeps its utilization floor"
       (Gauge_min "parallel.domain_util") Ge pool_util_floor;
+    rule ~name:"scale.bytes_per_client"
+      ~description:"per-client shard download stays under its byte budget (§5.1)"
+      (Gauge "scale.bytes_per_client") Le scale_bytes_per_client_ceiling;
+    rule ~name:"scale.words_per_client"
+      ~description:"server-side peak heap per client stays under its word budget"
+      (Gauge "scale.words_per_client") Le scale_words_per_client_ceiling;
   ]
 
 (* ---- rendering ---- *)

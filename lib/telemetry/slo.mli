@@ -67,6 +67,8 @@ val default_rules :
   ?gc_pause_ceiling:float ->
   ?heap_words_ceiling:float ->
   ?pool_util_floor:float ->
+  ?scale_bytes_per_client_ceiling:float ->
+  ?scale_words_per_client_ceiling:float ->
   unit ->
   rule list
 (** Alpenhorn's built-in rule set. Deadlines, the mailbox ceiling and the
@@ -84,7 +86,14 @@ val default_rules :
     [infinity]), and [pool_util_floor] (default [0.0]) puts a
     {!Gauge_min} floor under [parallel.domain_util] — every rule skips
     when no {!Runtime_stats} sampler or domain pool has populated its
-    metric. *)
+    metric.
+
+    Scale rules guard million-user rounds (DESIGN.md §15):
+    [scale_bytes_per_client_ceiling] bounds the [scale.bytes_per_client]
+    gauge (a client's §5.1 shard download) and
+    [scale_words_per_client_ceiling] the [scale.words_per_client] gauge
+    (server-side peak heap amortized per client); both default [infinity]
+    and skip when no scale round has run. *)
 
 val pp_report : Format.formatter -> report -> unit
 (** One line per rule: [[ok|FAIL|skip] name value cmp threshold]. *)

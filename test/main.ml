@@ -35,4 +35,6 @@ let () =
       ("faults", Test_faults.suite);
       ("ledger", Test_ledger.suite);
       ("collector", Test_collector.suite);
+      ("shard", Test_shard.suite);
+      ("scale", Test_scale.suite);
     ]
